@@ -1,0 +1,40 @@
+// Section III ablation: how many B rows (L) to preload. The paper fixes
+// L=16; Section III derives the upper bound L <= M * VectorLength / N
+// beyond which extra preloaded rows are never addressed. Smaller L preloads
+// less but amortizes the preload over fewer non-zero slots per tile.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace indexmac;
+  using namespace indexmac::bench;
+  using core::Algorithm;
+  using core::RunConfig;
+
+  const timing::ProcessorConfig proc{};
+  print_section("Ablation: preloaded B-tile rows L (paper uses L=16)");
+
+  const kernels::GemmDims dims{64, 576, 98};
+  for (const auto sp : {sparse::kSparsity14, sparse::kSparsity24}) {
+    const auto problem = core::SpmmProblem::random(dims, sp, 11);
+    TextTable table;
+    table.set_header({"L (B rows in VRF)", "Proposed cycles", "vs Row-Wise-SpMM"});
+    const auto rowwise = core::run_exact(
+        problem, RunConfig{.algorithm = Algorithm::kRowwiseSpmm, .kernel = {.unroll = 4}}, proc);
+    for (const unsigned l : {4u, 8u, 16u}) {
+      const auto r = core::run_exact(problem,
+                                     RunConfig{.algorithm = Algorithm::kIndexmac,
+                                               .kernel = {.unroll = 4},
+                                               .tile_rows = l},
+                                     proc);
+      table.add_row({std::to_string(l), fmt_count(r.stats.cycles),
+                     fmt_speedup(static_cast<double>(rowwise.stats.cycles) /
+                                 static_cast<double>(r.stats.cycles))});
+    }
+    std::printf("Sparsity %d:%d on GEMM %s (Row-Wise-SpMM: %s cycles)\n%s\n", sp.n, sp.m,
+                dims_label(dims).c_str(), fmt_count(rowwise.stats.cycles).c_str(),
+                table.to_string().c_str());
+  }
+  return 0;
+}

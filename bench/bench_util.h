@@ -1,0 +1,55 @@
+// Shared helpers for the experiment benches (Fig. 4/5/6 + ablations).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "cnn/conv_layer.h"
+#include "common/format.h"
+#include "core/runner.h"
+#include "core/spmm_problem.h"
+
+namespace indexmac::bench {
+
+/// Both kernels measured on one GEMM at one sparsity.
+struct LayerMeasurement {
+  double rowwise_cycles = 0;
+  double proposed_cycles = 0;
+  std::uint64_t rowwise_accesses = 0;
+  std::uint64_t proposed_accesses = 0;
+
+  [[nodiscard]] double speedup() const { return rowwise_cycles / proposed_cycles; }
+  [[nodiscard]] double normalized_accesses() const {
+    return static_cast<double>(proposed_accesses) / static_cast<double>(rowwise_accesses);
+  }
+};
+
+/// Measures one layer GEMM with the sampled runner (both algorithms use the
+/// B-stationary dataflow and 4-way unrolling, as in the paper).
+inline LayerMeasurement measure_layer(const kernels::GemmDims& dims, sparse::Sparsity sp,
+                                      const timing::ProcessorConfig& proc,
+                                      const core::SampleParams& params = core::SampleParams{}) {
+  using core::Algorithm;
+  using core::RunConfig;
+  LayerMeasurement out;
+  const RunConfig rowwise{.algorithm = Algorithm::kRowwiseSpmm, .kernel = {.unroll = 4}};
+  const RunConfig proposed{.algorithm = Algorithm::kIndexmac, .kernel = {.unroll = 4}};
+  const auto r2 = core::run_sampled(dims, sp, rowwise, proc, params);
+  const auto r3 = core::run_sampled(dims, sp, proposed, proc, params);
+  out.rowwise_cycles = r2.cycles;
+  out.proposed_cycles = r3.cycles;
+  out.rowwise_accesses = r2.data_accesses;
+  out.proposed_accesses = r3.data_accesses;
+  return out;
+}
+
+/// Short "RxKxN" label for a GEMM.
+inline std::string dims_label(const kernels::GemmDims& d) {
+  return std::to_string(d.rows_a) + "x" + std::to_string(d.k) + "x" + std::to_string(d.cols_b);
+}
+
+inline void print_section(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+}  // namespace indexmac::bench

@@ -1,0 +1,100 @@
+// Infrastructure microbenchmarks (google-benchmark): encoder/decoder,
+// assembler, functional-simulator and timing-simulator throughput. These
+// bound how long the figure benches take and catch performance regressions
+// in the simulation stack itself.
+#include <benchmark/benchmark.h>
+
+#include "asm/assembler.h"
+#include "core/runner.h"
+#include "core/spmm_problem.h"
+#include "fsim/machine.h"
+#include "isa/encoding.h"
+#include "timing/timing_sim.h"
+
+namespace {
+
+using namespace indexmac;
+
+void BM_EncodeDecodeRoundTrip(benchmark::State& state) {
+  const isa::Instruction inst{isa::Op::kVindexmacVx, 2, 7, 4, 0};
+  for (auto _ : state) {
+    const std::uint32_t word = isa::encode(inst);
+    benchmark::DoNotOptimize(isa::decode(word));
+  }
+}
+BENCHMARK(BM_EncodeDecodeRoundTrip);
+
+void BM_AssembleKernel(benchmark::State& state) {
+  AddressAllocator alloc;
+  const auto layout = kernels::make_layout({64, 128, 64}, sparse::kSparsity24, 16, alloc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kernels::emit_indexmac_kernel(layout, kernels::KernelOptions{.unroll = 4}));
+  }
+  state.SetLabel("instructions per program ~" +
+                 std::to_string(
+                     kernels::emit_indexmac_kernel(layout, kernels::KernelOptions{.unroll = 4})
+                         .size()));
+}
+BENCHMARK(BM_AssembleKernel);
+
+void BM_FunctionalSimulation(benchmark::State& state) {
+  const auto problem = core::SpmmProblem::random({16, 64, 32}, sparse::kSparsity24, 1);
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    MainMemory mem;
+    const auto run = core::prepare(
+        problem, core::RunConfig{.algorithm = core::Algorithm::kIndexmac, .kernel = {.unroll = 4}},
+        mem);
+    Machine machine(run.program, mem);
+    state.ResumeTiming();
+    machine.run();
+    instructions += machine.instructions_retired();
+  }
+  state.counters["instr/s"] =
+      benchmark::Counter(static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FunctionalSimulation)->Unit(benchmark::kMillisecond);
+
+void BM_TimingSimulation(benchmark::State& state) {
+  const auto problem = core::SpmmProblem::random({16, 64, 32}, sparse::kSparsity24, 1);
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    MainMemory mem;
+    const auto run = core::prepare(
+        problem, core::RunConfig{.algorithm = core::Algorithm::kIndexmac, .kernel = {.unroll = 4}},
+        mem);
+    state.ResumeTiming();
+    timing::TimingSim sim(run.program, mem, timing::ProcessorConfig{});
+    instructions += sim.run().instructions;
+  }
+  state.counters["instr/s"] =
+      benchmark::Counter(static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TimingSimulation)->Unit(benchmark::kMillisecond);
+
+void BM_SampledLayerMeasurement(benchmark::State& state) {
+  const kernels::GemmDims dims{256, 2304, 196};  // a large ResNet50 layer
+  for (auto _ : state) {
+    const auto r = core::run_sampled(
+        dims, sparse::kSparsity14,
+        core::RunConfig{.algorithm = core::Algorithm::kIndexmac, .kernel = {.unroll = 4}},
+        timing::ProcessorConfig{});
+    benchmark::DoNotOptimize(r.cycles);
+  }
+}
+BENCHMARK(BM_SampledLayerMeasurement)->Unit(benchmark::kMillisecond);
+
+void BM_PruneToNm(benchmark::State& state) {
+  const auto dense = sparse::random_matrix<float>(256, 1024, 5, -1.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::NmMatrix<float>::prune_from_dense(dense, sparse::kSparsity24));
+  }
+}
+BENCHMARK(BM_PruneToNm)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,11 @@
+// Table I: the simulated processor configuration. Prints the parameters the
+// timing model actually uses, in the layout of the paper's table.
+#include <cstdio>
+
+#include "timing/config.h"
+
+int main() {
+  std::printf("=== Table I: simulated processor configuration ===\n\n%s\n",
+              indexmac::timing::ProcessorConfig{}.describe().c_str());
+  return 0;
+}

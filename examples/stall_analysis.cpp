@@ -1,0 +1,59 @@
+// Stall analysis: where do the two kernels' cycles go? Uses the timing
+// model's vector-dispatch stall breakdown to show the paper's core
+// mechanism directly: Row-Wise-SpMM serializes on twice as many
+// vector->scalar round trips per non-zero (B-row address AND weight value)
+// as the vindexmac kernel (index only), on top of its per-non-zero loads.
+#include <cstdio>
+
+#include "core/spmm_problem.h"
+#include "timing/timing_sim.h"
+
+namespace {
+
+using namespace indexmac;
+
+void analyze(const core::SpmmProblem& problem, core::Algorithm alg) {
+  MainMemory mem;
+  const auto run = core::prepare(
+      problem, core::RunConfig{.algorithm = alg, .kernel = {.unroll = 4}}, mem);
+  timing::TimingSim sim(run.program, mem, timing::ProcessorConfig{});
+  const timing::TimingStats& s = sim.run();
+
+  std::printf("%s\n", core::algorithm_name(alg));
+  std::printf("  cycles %llu, instructions %llu (IPC %.2f)\n",
+              static_cast<unsigned long long>(s.cycles),
+              static_cast<unsigned long long>(s.instructions), s.ipc());
+  std::printf("  vector mix: %llu loads, %llu stores, %llu MACs, %llu vec->scalar moves\n",
+              static_cast<unsigned long long>(s.vector_loads),
+              static_cast<unsigned long long>(s.vector_stores),
+              static_cast<unsigned long long>(s.vector_macs),
+              static_cast<unsigned long long>(s.vector_to_scalar_moves));
+  // Stall cycles are attributed per instruction and overlap deeply in the
+  // pipeline, so they sum to more than total cycles; the *ratios* between
+  // categories and between kernels are the informative part.
+  const auto& d = s.dispatch_stalls;
+  std::printf("  vector dispatch stall cycles: %llu waiting on scalar operands "
+              "(round trips), %llu queue-full, %llu branch shadow, %llu bandwidth\n",
+              static_cast<unsigned long long>(d.scalar_operand),
+              static_cast<unsigned long long>(d.queue_full),
+              static_cast<unsigned long long>(d.branch_shadow),
+              static_cast<unsigned long long>(d.bandwidth));
+  std::printf("  memory: %llu data accesses, %llu DRAM line transfers\n\n",
+              static_cast<unsigned long long>(s.mem.data_accesses()),
+              static_cast<unsigned long long>(s.mem.dram_lines));
+}
+
+}  // namespace
+
+int main() {
+  using namespace indexmac;
+  const auto problem =
+      core::SpmmProblem::random({64, 256, 98}, sparse::kSparsity14, /*seed=*/2);
+  std::printf("GEMM 64x256x98 at 1:4 structured sparsity\n\n");
+  analyze(problem, core::Algorithm::kRowwiseSpmm);
+  analyze(problem, core::Algorithm::kIndexmac);
+  std::printf("Note the ~2x ratio in vec->scalar moves: Row-Wise-SpMM transfers the\n"
+              "B-row address AND the weight value per non-zero; the proposed kernel\n"
+              "transfers only the index, and its MACs read B from the register file.\n");
+  return 0;
+}

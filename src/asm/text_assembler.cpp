@@ -1,0 +1,343 @@
+#include "asm/text_assembler.h"
+
+#include <cctype>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "asm/assembler.h"
+#include "common/error.h"
+
+namespace indexmac {
+namespace {
+
+using isa::Op;
+
+struct Operand {
+  enum class Kind { kXReg, kFReg, kVReg, kImm, kMem, kSymbol } kind;
+  unsigned reg = 0;       // kXReg/kFReg/kVReg; base register for kMem
+  std::int64_t imm = 0;   // kImm; offset for kMem
+  std::string symbol;     // kSymbol
+};
+
+std::optional<unsigned> parse_xreg_name(const std::string& t) {
+  static const std::map<std::string, unsigned> kAbi = {
+      {"zero", 0}, {"ra", 1},  {"sp", 2},   {"gp", 3},   {"tp", 4},  {"t0", 5},  {"t1", 6},
+      {"t2", 7},   {"s0", 8},  {"fp", 8},   {"s1", 9},   {"a0", 10}, {"a1", 11}, {"a2", 12},
+      {"a3", 13},  {"a4", 14}, {"a5", 15},  {"a6", 16},  {"a7", 17}, {"s2", 18}, {"s3", 19},
+      {"s4", 20},  {"s5", 21}, {"s6", 22},  {"s7", 23},  {"s8", 24}, {"s9", 25}, {"s10", 26},
+      {"s11", 27}, {"t3", 28}, {"t4", 29},  {"t5", 30},  {"t6", 31}};
+  if (auto it = kAbi.find(t); it != kAbi.end()) return it->second;
+  if (t.size() >= 2 && t[0] == 'x') {
+    unsigned n = 0;
+    for (std::size_t i = 1; i < t.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(t[i]))) return std::nullopt;
+      n = n * 10 + static_cast<unsigned>(t[i] - '0');
+    }
+    if (n < 32) return n;
+  }
+  return std::nullopt;
+}
+
+std::optional<unsigned> parse_prefixed_reg(const std::string& t, char prefix) {
+  if (t.size() < 2 || t[0] != prefix) return std::nullopt;
+  unsigned n = 0;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(t[i]))) return std::nullopt;
+    n = n * 10 + static_cast<unsigned>(t[i] - '0');
+  }
+  if (n < 32) return n;
+  return std::nullopt;
+}
+
+std::optional<std::int64_t> parse_int(const std::string& t) {
+  if (t.empty()) return std::nullopt;
+  std::size_t i = 0;
+  bool neg = false;
+  if (t[0] == '-' || t[0] == '+') {
+    neg = t[0] == '-';
+    i = 1;
+  }
+  if (i >= t.size()) return std::nullopt;
+  int base = 10;
+  if (t.size() - i > 2 && t[i] == '0' && (t[i + 1] == 'x' || t[i + 1] == 'X')) {
+    base = 16;
+    i += 2;
+  }
+  std::int64_t value = 0;
+  for (; i < t.size(); ++i) {
+    const char c = static_cast<char>(std::tolower(static_cast<unsigned char>(t[i])));
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (base == 16 && c >= 'a' && c <= 'f') digit = 10 + (c - 'a');
+    else return std::nullopt;
+    value = value * base + digit;
+  }
+  return neg ? -value : value;
+}
+
+/// Splits "off(reg)" into offset text and register text.
+std::optional<std::pair<std::string, std::string>> split_mem(const std::string& t) {
+  const std::size_t open = t.find('(');
+  if (open == std::string::npos || t.back() != ')') return std::nullopt;
+  return std::make_pair(t.substr(0, open), t.substr(open + 1, t.size() - open - 2));
+}
+
+class Parser {
+ public:
+  explicit Parser(std::uint64_t base) : base_(base) {}
+
+  void parse_line(const std::string& raw, int line_no) {
+    line_no_ = line_no;
+    std::string line = strip_comment(raw);
+    // Handle one optional "label:" prefix, then an optional instruction.
+    std::size_t colon = line.find(':');
+    if (colon != std::string::npos && line.find('"') == std::string::npos) {
+      const std::string name = trim(line.substr(0, colon));
+      fail_if(name.empty(), "empty label name");
+      bind_label(name);
+      line = line.substr(colon + 1);
+    }
+    line = trim(line);
+    if (line.empty()) return;
+    parse_instruction(line);
+  }
+
+  AssembledText finish() {
+    Program p = asm_.finish(base_);
+    std::map<std::string, std::uint64_t> symbols;
+    for (const auto& [name, info] : labels_) {
+      fail_if(!info.bound, "label '" + name + "' used but never defined");
+      symbols[name] = p.base() + 4 * info.position;
+    }
+    return AssembledText{std::move(p), std::move(symbols)};
+  }
+
+ private:
+  struct LabelInfo {
+    Assembler::Label label;
+    bool bound = false;
+    std::size_t position = 0;
+  };
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    raise("asm line " + std::to_string(line_no_) + ": " + msg);
+  }
+  void fail_if(bool cond, const std::string& msg) const {
+    if (cond) fail(msg);
+  }
+
+  static std::string strip_comment(std::string line) {
+    for (const std::string sep : {"#", "//"}) {
+      if (const std::size_t p = line.find(sep); p != std::string::npos) line = line.substr(0, p);
+    }
+    return line;
+  }
+
+  static std::string trim(const std::string& s) {
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+    return s.substr(b, e - b);
+  }
+
+  LabelInfo& label(const std::string& name) {
+    auto it = labels_.find(name);
+    if (it == labels_.end())
+      it = labels_.emplace(name, LabelInfo{asm_.new_label(), false, 0}).first;
+    return it->second;
+  }
+
+  void bind_label(const std::string& name) {
+    LabelInfo& info = label(name);
+    fail_if(info.bound, "label '" + name + "' defined twice");
+    info.bound = true;
+    info.position = asm_.size();
+    asm_.bind(info.label);
+  }
+
+  Operand parse_operand(const std::string& t) {
+    if (auto mem = split_mem(t)) {
+      auto reg = parse_xreg_name(trim(mem->second));
+      fail_if(!reg, "bad base register in '" + t + "'");
+      std::int64_t off = 0;
+      const std::string off_text = trim(mem->first);
+      if (!off_text.empty()) {
+        auto o = parse_int(off_text);
+        fail_if(!o, "bad memory offset in '" + t + "'");
+        off = *o;
+      }
+      return Operand{Operand::Kind::kMem, *reg, off, {}};
+    }
+    if (auto r = parse_xreg_name(t)) return Operand{Operand::Kind::kXReg, *r, 0, {}};
+    if (auto r = parse_prefixed_reg(t, 'f')) return Operand{Operand::Kind::kFReg, *r, 0, {}};
+    if (auto r = parse_prefixed_reg(t, 'v')) return Operand{Operand::Kind::kVReg, *r, 0, {}};
+    if (auto i = parse_int(t)) return Operand{Operand::Kind::kImm, 0, *i, {}};
+    fail_if(t.empty(), "empty operand");
+    return Operand{Operand::Kind::kSymbol, 0, 0, t};
+  }
+
+  XReg xop(const Operand& o) const {
+    fail_if(o.kind != Operand::Kind::kXReg, "expected x register");
+    return x(o.reg);
+  }
+  FReg fop(const Operand& o) const {
+    fail_if(o.kind != Operand::Kind::kFReg, "expected f register");
+    return f(o.reg);
+  }
+  VReg vop(const Operand& o) const {
+    fail_if(o.kind != Operand::Kind::kVReg, "expected v register");
+    return v(o.reg);
+  }
+  std::int32_t iop(const Operand& o) const {
+    fail_if(o.kind != Operand::Kind::kImm, "expected immediate");
+    fail_if(o.imm < INT32_MIN || o.imm > INT32_MAX, "immediate out of 32-bit range");
+    return static_cast<std::int32_t>(o.imm);
+  }
+  Assembler::Label target(const Operand& o) {
+    fail_if(o.kind != Operand::Kind::kSymbol, "expected label operand");
+    return label(o.symbol).label;
+  }
+
+  void parse_instruction(const std::string& text) {
+    std::size_t sp = text.find_first_of(" \t");
+    const std::string mnem = text.substr(0, sp);
+    std::vector<Operand> ops;
+    if (sp != std::string::npos) {
+      std::string rest = text.substr(sp);
+      std::string cur;
+      std::istringstream ss(rest);
+      while (std::getline(ss, cur, ',')) {
+        cur = trim(cur);
+        if (!cur.empty()) ops.push_back(parse_operand(cur));
+      }
+    }
+    dispatch(mnem, ops);
+  }
+
+  void expect(std::size_t want, std::size_t got) const {
+    fail_if(want != got, "expected " + std::to_string(want) + " operands, got " +
+                             std::to_string(got));
+  }
+
+  void dispatch(const std::string& m, std::vector<Operand>& o) {
+    auto mem = [&](std::size_t i) {
+      fail_if(o[i].kind != Operand::Kind::kMem, "expected mem operand 'off(reg)'");
+      return std::make_pair(x(o[i].reg), static_cast<std::int32_t>(o[i].imm));
+    };
+    // Pseudo-instructions first.
+    if (m == "li") { expect(2, o.size()); asm_.li(xop(o[0]), o[1].imm); return; }
+    if (m == "mv") { expect(2, o.size()); asm_.mv(xop(o[0]), xop(o[1])); return; }
+    if (m == "nop") { expect(0, o.size()); asm_.nop(); return; }
+    if (m == "j") { expect(1, o.size()); asm_.j(target(o[0])); return; }
+
+    if (m == "lui") { expect(2, o.size()); asm_.lui(xop(o[0]), iop(o[1])); return; }
+    if (m == "auipc") { expect(2, o.size()); asm_.auipc(xop(o[0]), iop(o[1])); return; }
+    if (m == "jal") { expect(2, o.size()); asm_.jal(xop(o[0]), target(o[1])); return; }
+    if (m == "jalr") {
+      expect(2, o.size());
+      auto [base, off] = mem(1);
+      asm_.jalr(xop(o[0]), base, off);
+      return;
+    }
+    if (m == "beq") { expect(3, o.size()); asm_.beq(xop(o[0]), xop(o[1]), target(o[2])); return; }
+    if (m == "bne") { expect(3, o.size()); asm_.bne(xop(o[0]), xop(o[1]), target(o[2])); return; }
+    if (m == "blt") { expect(3, o.size()); asm_.blt(xop(o[0]), xop(o[1]), target(o[2])); return; }
+    if (m == "bge") { expect(3, o.size()); asm_.bge(xop(o[0]), xop(o[1]), target(o[2])); return; }
+    if (m == "bltu") { expect(3, o.size()); asm_.bltu(xop(o[0]), xop(o[1]), target(o[2])); return; }
+    if (m == "bgeu") { expect(3, o.size()); asm_.bgeu(xop(o[0]), xop(o[1]), target(o[2])); return; }
+    if (m == "lw" || m == "lwu" || m == "ld") {
+      expect(2, o.size());
+      auto [base, off] = mem(1);
+      if (m == "lw") asm_.lw(xop(o[0]), base, off);
+      else if (m == "lwu") asm_.lwu(xop(o[0]), base, off);
+      else asm_.ld(xop(o[0]), base, off);
+      return;
+    }
+    if (m == "sw" || m == "sd") {
+      expect(2, o.size());
+      auto [base, off] = mem(1);
+      if (m == "sw") asm_.sw(xop(o[0]), base, off);
+      else asm_.sd(xop(o[0]), base, off);
+      return;
+    }
+    if (m == "flw") { expect(2, o.size()); auto [b, off] = mem(1); asm_.flw(fop(o[0]), b, off); return; }
+    if (m == "fsw") { expect(2, o.size()); auto [b, off] = mem(1); asm_.fsw(fop(o[0]), b, off); return; }
+    if (m == "addi") { expect(3, o.size()); asm_.addi(xop(o[0]), xop(o[1]), iop(o[2])); return; }
+    if (m == "slti") { expect(3, o.size()); asm_.slti(xop(o[0]), xop(o[1]), iop(o[2])); return; }
+    if (m == "sltiu") { expect(3, o.size()); asm_.sltiu(xop(o[0]), xop(o[1]), iop(o[2])); return; }
+    if (m == "xori") { expect(3, o.size()); asm_.xori(xop(o[0]), xop(o[1]), iop(o[2])); return; }
+    if (m == "ori") { expect(3, o.size()); asm_.ori(xop(o[0]), xop(o[1]), iop(o[2])); return; }
+    if (m == "andi") { expect(3, o.size()); asm_.andi(xop(o[0]), xop(o[1]), iop(o[2])); return; }
+    if (m == "slli") { expect(3, o.size()); asm_.slli(xop(o[0]), xop(o[1]), static_cast<unsigned>(iop(o[2]))); return; }
+    if (m == "srli") { expect(3, o.size()); asm_.srli(xop(o[0]), xop(o[1]), static_cast<unsigned>(iop(o[2]))); return; }
+    if (m == "srai") { expect(3, o.size()); asm_.srai(xop(o[0]), xop(o[1]), static_cast<unsigned>(iop(o[2]))); return; }
+    if (m == "add") { expect(3, o.size()); asm_.add(xop(o[0]), xop(o[1]), xop(o[2])); return; }
+    if (m == "sub") { expect(3, o.size()); asm_.sub(xop(o[0]), xop(o[1]), xop(o[2])); return; }
+    if (m == "sll") { expect(3, o.size()); asm_.sll(xop(o[0]), xop(o[1]), xop(o[2])); return; }
+    if (m == "slt") { expect(3, o.size()); asm_.slt(xop(o[0]), xop(o[1]), xop(o[2])); return; }
+    if (m == "sltu") { expect(3, o.size()); asm_.sltu(xop(o[0]), xop(o[1]), xop(o[2])); return; }
+    if (m == "xor") { expect(3, o.size()); asm_.xor_(xop(o[0]), xop(o[1]), xop(o[2])); return; }
+    if (m == "srl") { expect(3, o.size()); asm_.srl(xop(o[0]), xop(o[1]), xop(o[2])); return; }
+    if (m == "sra") { expect(3, o.size()); asm_.sra(xop(o[0]), xop(o[1]), xop(o[2])); return; }
+    if (m == "or") { expect(3, o.size()); asm_.or_(xop(o[0]), xop(o[1]), xop(o[2])); return; }
+    if (m == "and") { expect(3, o.size()); asm_.and_(xop(o[0]), xop(o[1]), xop(o[2])); return; }
+    if (m == "mul") { expect(3, o.size()); asm_.mul(xop(o[0]), xop(o[1]), xop(o[2])); return; }
+    if (m == "ecall") { expect(0, o.size()); asm_.ecall(); return; }
+    if (m == "ebreak") { expect(0, o.size()); asm_.ebreak(); return; }
+    if (m == "marker") { expect(1, o.size()); asm_.marker(iop(o[0])); return; }
+    if (m == "vsetvli") {
+      // Accept "vsetvli rd, rs1, e32m1" (symbol) or explicit vtype immediate.
+      expect(3, o.size());
+      if (o[2].kind == Operand::Kind::kSymbol) {
+        fail_if(o[2].symbol != "e32m1", "only e32m1 vtype is supported");
+      } else {
+        fail_if(iop(o[2]) != isa::kVtypeE32M1, "only e32m1 vtype is supported");
+      }
+      asm_.vsetvli_e32m1(xop(o[0]), xop(o[1]));
+      return;
+    }
+    if (m == "vle32.v") { expect(2, o.size()); asm_.vle32(vop(o[0]), mem(1).first); return; }
+    if (m == "vse32.v") { expect(2, o.size()); asm_.vse32(vop(o[0]), mem(1).first); return; }
+    if (m == "vadd.vx") { expect(3, o.size()); asm_.vadd_vx(vop(o[0]), vop(o[1]), xop(o[2])); return; }
+    if (m == "vadd.vi") { expect(3, o.size()); asm_.vadd_vi(vop(o[0]), vop(o[1]), iop(o[2])); return; }
+    if (m == "vadd.vv") { expect(3, o.size()); asm_.vadd_vv(vop(o[0]), vop(o[1]), vop(o[2])); return; }
+    if (m == "vfadd.vv") { expect(3, o.size()); asm_.vfadd_vv(vop(o[0]), vop(o[1]), vop(o[2])); return; }
+    if (m == "vmul.vv") { expect(3, o.size()); asm_.vmul_vv(vop(o[0]), vop(o[1]), vop(o[2])); return; }
+    if (m == "vfmul.vv") { expect(3, o.size()); asm_.vfmul_vv(vop(o[0]), vop(o[1]), vop(o[2])); return; }
+    if (m == "vredsum.vs") { expect(3, o.size()); asm_.vredsum_vs(vop(o[0]), vop(o[1]), vop(o[2])); return; }
+    if (m == "vfredusum.vs") { expect(3, o.size()); asm_.vfredusum_vs(vop(o[0]), vop(o[1]), vop(o[2])); return; }
+    if (m == "vluxei32.v") { expect(3, o.size()); asm_.vluxei32(vop(o[0]), mem(1).first, vop(o[2])); return; }
+    if (m == "vmacc.vx") { expect(3, o.size()); asm_.vmacc_vx(vop(o[0]), xop(o[1]), vop(o[2])); return; }
+    if (m == "vfmacc.vf") { expect(3, o.size()); asm_.vfmacc_vf(vop(o[0]), fop(o[1]), vop(o[2])); return; }
+    if (m == "vmv.v.x") { expect(2, o.size()); asm_.vmv_v_x(vop(o[0]), xop(o[1])); return; }
+    if (m == "vmv.v.i") { expect(2, o.size()); asm_.vmv_v_i(vop(o[0]), iop(o[1])); return; }
+    if (m == "vmv.x.s") { expect(2, o.size()); asm_.vmv_x_s(xop(o[0]), vop(o[1])); return; }
+    if (m == "vfmv.f.s") { expect(2, o.size()); asm_.vfmv_f_s(fop(o[0]), vop(o[1])); return; }
+    if (m == "vmv.s.x") { expect(2, o.size()); asm_.vmv_s_x(vop(o[0]), xop(o[1])); return; }
+    if (m == "vslidedown.vx") { expect(3, o.size()); asm_.vslidedown_vx(vop(o[0]), vop(o[1]), xop(o[2])); return; }
+    if (m == "vslidedown.vi") { expect(3, o.size()); asm_.vslidedown_vi(vop(o[0]), vop(o[1]), iop(o[2])); return; }
+    if (m == "vslide1down.vx") { expect(3, o.size()); asm_.vslide1down_vx(vop(o[0]), vop(o[1]), xop(o[2])); return; }
+    if (m == "vindexmac.vx") { expect(3, o.size()); asm_.vindexmac_vx(vop(o[0]), vop(o[1]), xop(o[2])); return; }
+    if (m == "vfindexmac.vx") { expect(3, o.size()); asm_.vfindexmac_vx(vop(o[0]), vop(o[1]), xop(o[2])); return; }
+    fail("unknown mnemonic '" + m + "'");
+  }
+
+  std::uint64_t base_;
+  int line_no_ = 0;
+  Assembler asm_;
+  std::map<std::string, LabelInfo> labels_;
+};
+
+}  // namespace
+
+AssembledText assemble_text(const std::string& source, std::uint64_t base) {
+  Parser parser(base);
+  std::istringstream ss(source);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(ss, line)) parser.parse_line(line, ++line_no);
+  return parser.finish();
+}
+
+}  // namespace indexmac

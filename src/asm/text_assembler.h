@@ -1,0 +1,26 @@
+// A small text-form assembler for the supported subset, accepting the same
+// syntax that isa::disassemble() emits plus labels, comments, and ABI
+// register names. Useful for examples and for writing kernels by hand.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "asm/program.h"
+
+namespace indexmac {
+
+/// Result of assembling a text listing.
+struct AssembledText {
+  Program program;
+  /// Label name -> absolute address.
+  std::map<std::string, std::uint64_t> symbols;
+};
+
+/// Assembles `source` (one instruction or "label:" per line; '#' and "//"
+/// comments). Throws SimError with a line-numbered message on any error.
+[[nodiscard]] AssembledText assemble_text(const std::string& source,
+                                          std::uint64_t base = 0x1000);
+
+}  // namespace indexmac

@@ -1,0 +1,59 @@
+// Bit-manipulation helpers used by the ISA encoder/decoder and simulators.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.h"
+
+namespace indexmac {
+
+/// Extract bits [hi:lo] (inclusive) of `value`, right-aligned.
+constexpr std::uint32_t bits(std::uint32_t value, unsigned hi, unsigned lo) {
+  return (value >> lo) & ((hi - lo == 31u) ? ~0u : ((1u << (hi - lo + 1)) - 1u));
+}
+
+/// Extract a single bit.
+constexpr std::uint32_t bit(std::uint32_t value, unsigned pos) { return (value >> pos) & 1u; }
+
+/// Sign-extend the low `width` bits of `value` to 64 bits.
+constexpr std::int64_t sign_extend(std::uint64_t value, unsigned width) {
+  const std::uint64_t mask = (width >= 64) ? ~0ull : ((1ull << width) - 1ull);
+  const std::uint64_t sign = 1ull << (width - 1);
+  const std::uint64_t v = value & mask;
+  return static_cast<std::int64_t>((v ^ sign) - sign);
+}
+
+/// True if `value` fits in a signed immediate of `width` bits.
+constexpr bool fits_signed(std::int64_t value, unsigned width) {
+  const std::int64_t lo = -(std::int64_t{1} << (width - 1));
+  const std::int64_t hi = (std::int64_t{1} << (width - 1)) - 1;
+  return value >= lo && value <= hi;
+}
+
+/// True if `value` fits in an unsigned immediate of `width` bits.
+constexpr bool fits_unsigned(std::uint64_t value, unsigned width) {
+  return width >= 64 || value < (1ull << width);
+}
+
+/// True if `v` is a power of two (and non-zero).
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// log2 of a power of two.
+constexpr unsigned log2_exact(std::uint64_t v) {
+  unsigned n = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+/// Round `v` up to a multiple of `m` (m > 0).
+constexpr std::uint64_t round_up(std::uint64_t v, std::uint64_t m) {
+  return ((v + m - 1) / m) * m;
+}
+
+/// Ceiling division for positive integers.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) { return (a + b - 1) / b; }
+
+}  // namespace indexmac

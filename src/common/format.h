@@ -1,0 +1,39 @@
+// Minimal fixed-width table formatting used by benches and examples to print
+// paper-style result tables without external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace indexmac {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class TextTable {
+ public:
+  /// Sets the header row; column count of all rows must match it.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table with a separator under the header.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimal places (no locale surprises).
+[[nodiscard]] std::string fmt_fixed(double v, int digits);
+
+/// Formats "1.95x"-style speedup cells.
+[[nodiscard]] std::string fmt_speedup(double v);
+
+/// Formats a large count with thousands separators ("12,345,678").
+[[nodiscard]] std::string fmt_count(std::uint64_t v);
+
+}  // namespace indexmac

@@ -1,0 +1,73 @@
+// Problem construction and operand placement: builds a structured-sparse
+// SpMM problem (A sparse N:M, B dense), lays its operands out in simulated
+// memory, and emits the kernel program for a chosen algorithm.
+//
+// This is the top of the public API: quickstart example usage is
+//
+//   auto problem = SpmmProblem::random({64, 128, 48}, sparse::kSparsity14, 1);
+//   MainMemory mem;
+//   auto run = prepare(problem, RunConfig{.algorithm = Algorithm::kIndexmac}, mem);
+//   Machine machine(run.program, mem);
+//   machine.run();
+//   auto c = read_c(run, mem);
+#pragma once
+
+#include <cstdint>
+
+#include "asm/program.h"
+#include "kernels/kernels.h"
+#include "kernels/layout.h"
+#include "mem/main_memory.h"
+#include "sparse/dense_matrix.h"
+#include "sparse/nm_matrix.h"
+#include "sparse/packing.h"
+
+namespace indexmac::core {
+
+/// Which kernel executes the multiplication.
+enum class Algorithm {
+  kIndexmac,      ///< Algorithm 3 ("Proposed"): vindexmac + preloaded B tiles
+  kRowwiseSpmm,   ///< Algorithm 2 ("Row-Wise-SpMM")
+  kDenseRowwise,  ///< Algorithm 1 (dense baseline; ignores sparsity)
+};
+
+[[nodiscard]] const char* algorithm_name(Algorithm a);
+
+/// One structured-sparse multiplication problem (data only).
+struct SpmmProblem {
+  kernels::GemmDims dims;
+  sparse::Sparsity sp;
+  sparse::NmMatrix<float> a;
+  sparse::DenseMatrix<float> b;
+
+  /// Random problem: A is magnitude-pruned to N:M from a dense random
+  /// matrix (the paper's TensorFlow pruning substitute), B is dense random.
+  [[nodiscard]] static SpmmProblem random(const kernels::GemmDims& dims, sparse::Sparsity sp,
+                                          std::uint32_t seed);
+
+  /// Golden result via the reference (scalar) implementation.
+  [[nodiscard]] sparse::DenseMatrix<float> reference() const;
+};
+
+/// Execution configuration for one prepared run.
+struct RunConfig {
+  Algorithm algorithm = Algorithm::kIndexmac;
+  kernels::KernelOptions kernel;
+  unsigned tile_rows = 16;  ///< L (paper uses 16)
+};
+
+/// A program plus the layout needed to read results back.
+struct PreparedRun {
+  RunConfig config;
+  kernels::SpmmLayout layout;
+  Program program;
+};
+
+/// Lays out operands in `mem` and emits the kernel program.
+[[nodiscard]] PreparedRun prepare(const SpmmProblem& problem, const RunConfig& config,
+                                  MainMemory& mem);
+
+/// Reads the result matrix C back out of simulated memory.
+[[nodiscard]] sparse::DenseMatrix<float> read_c(const PreparedRun& run, const MainMemory& mem);
+
+}  // namespace indexmac::core

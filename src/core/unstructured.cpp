@@ -1,0 +1,40 @@
+#include "core/unstructured.h"
+
+#include "common/error.h"
+#include "sparse/packing.h"
+
+namespace indexmac::core {
+
+EllpackRun prepare_ellpack(const sparse::DenseMatrix<float>& a_sparse,
+                           const sparse::DenseMatrix<float>& b, MainMemory& mem) {
+  IMAC_CHECK(a_sparse.cols() == b.rows(), "ELLPACK SpMM: inner dimensions must match");
+  const auto ell = sparse::EllpackMatrix<float>::from_dense(a_sparse);
+
+  AddressAllocator alloc;
+  const kernels::GemmDims dims{a_sparse.rows(), a_sparse.cols(), b.cols()};
+  const std::size_t slots_padded = round_up(ell.slots_per_row(), isa::kVlMax);
+  kernels::EllpackLayout layout = kernels::make_ellpack_layout(dims, slots_padded, alloc);
+
+  const auto packed = sparse::pack_ellpack(
+      ell, static_cast<std::uint32_t>(layout.b_pitch_elems * 4),
+      isa::kVlMax);
+  IMAC_ASSERT(packed.slots_padded == layout.slots_padded, "packing and layout disagree");
+  mem.write_f32s(layout.a_values, packed.values);
+  mem.write_i32s(layout.a_offsets, packed.offsets);
+  mem.write_f32s(layout.b_base, sparse::to_padded_rows(b, layout.b_pitch_elems, dims.k));
+  const std::vector<float> c_zero(dims.rows_a * layout.c_pitch_elems, 0.0f);
+  mem.write_f32s(layout.c_base, c_zero);
+
+  return EllpackRun{layout, kernels::emit_ellpack_kernel(layout)};
+}
+
+sparse::DenseMatrix<float> read_c_ellpack(const EllpackRun& run, const MainMemory& mem) {
+  sparse::DenseMatrix<float> c(run.layout.dims.rows_a, run.layout.dims.cols_b);
+  for (std::size_t r = 0; r < c.rows(); ++r) {
+    const auto row = mem.read_f32s(run.layout.c_base + r * run.layout.c_pitch_elems * 4, c.cols());
+    for (std::size_t j = 0; j < c.cols(); ++j) c.at(r, j) = row[j];
+  }
+  return c;
+}
+
+}  // namespace indexmac::core

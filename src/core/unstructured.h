@@ -1,0 +1,29 @@
+// Unstructured-sparsity execution path: prepares and reads back ELLPACK
+// SpMM runs (the baseline the paper's introduction contrasts structured
+// sparsity against).
+#pragma once
+
+#include "asm/program.h"
+#include "kernels/ellpack_kernel.h"
+#include "mem/main_memory.h"
+#include "sparse/dense_matrix.h"
+#include "sparse/ellpack.h"
+
+namespace indexmac::core {
+
+/// A prepared ELLPACK multiplication.
+struct EllpackRun {
+  kernels::EllpackLayout layout;
+  Program program;
+};
+
+/// Lays out an unstructured sparse A (any density) and dense B in `mem`
+/// and emits the ELLPACK kernel.
+[[nodiscard]] EllpackRun prepare_ellpack(const sparse::DenseMatrix<float>& a_sparse,
+                                         const sparse::DenseMatrix<float>& b, MainMemory& mem);
+
+/// Reads the ELLPACK result matrix back.
+[[nodiscard]] sparse::DenseMatrix<float> read_c_ellpack(const EllpackRun& run,
+                                                        const MainMemory& mem);
+
+}  // namespace indexmac::core

@@ -1,0 +1,287 @@
+#include "fsim/machine.h"
+
+#include <cstring>
+
+#include "common/bitutil.h"
+#include "common/error.h"
+
+namespace indexmac {
+
+using isa::Instruction;
+using isa::kVlMax;
+using isa::Op;
+
+namespace {
+
+float bits_to_f32(std::uint32_t raw) {
+  float out;
+  std::memcpy(&out, &raw, sizeof out);
+  return out;
+}
+
+std::uint32_t f32_to_bits(float value) {
+  std::uint32_t raw;
+  std::memcpy(&raw, &value, sizeof raw);
+  return raw;
+}
+
+}  // namespace
+
+float ArchState::freg_f32(unsigned r) const { return bits_to_f32(f[r]); }
+void ArchState::set_freg_f32(unsigned r, float value) { f[r] = f32_to_bits(value); }
+float ArchState::velem_f32(unsigned reg, unsigned lane) const { return bits_to_f32(v[reg][lane]); }
+void ArchState::set_velem_f32(unsigned reg, unsigned lane, float value) {
+  v[reg][lane] = f32_to_bits(value);
+}
+
+Machine::Machine(const Program& program, MainMemory& memory)
+    : program_(program), memory_(memory) {
+  state_.pc = program.base();
+  state_.vl = 0;
+}
+
+StopReason Machine::step() {
+  const Instruction& inst = program_.at(state_.pc);
+  const std::uint64_t next_pc = state_.pc + 4;
+  pending_stop_ = StopReason::kRunning;
+  exec(inst, next_pc);
+  state_.x[0] = 0;  // x0 is hardwired to zero
+  ++retired_;
+  return pending_stop_;
+}
+
+StopReason Machine::run(std::uint64_t max_steps) {
+  for (std::uint64_t i = 0; i < max_steps; ++i) {
+    const StopReason r = step();
+    if (r != StopReason::kRunning) return r;
+  }
+  return StopReason::kMaxSteps;
+}
+
+void Machine::exec(const Instruction& in, std::uint64_t next_pc) {
+  auto& x = state_.x;
+  const auto sx = [&x](unsigned r) { return static_cast<std::int64_t>(x[r]); };
+  std::uint64_t new_pc = next_pc;
+
+  switch (in.op) {
+    case Op::kLui:
+      x[in.rd] = static_cast<std::uint64_t>(static_cast<std::int64_t>(in.imm) << 12);
+      break;
+    case Op::kAuipc:
+      x[in.rd] = state_.pc + static_cast<std::uint64_t>(static_cast<std::int64_t>(in.imm) << 12);
+      break;
+    case Op::kJal:
+      x[in.rd] = next_pc;
+      new_pc = state_.pc + static_cast<std::int64_t>(in.imm);
+      break;
+    case Op::kJalr: {
+      const std::uint64_t target = (x[in.rs1] + static_cast<std::int64_t>(in.imm)) & ~1ull;
+      x[in.rd] = next_pc;
+      new_pc = target;
+      break;
+    }
+    case Op::kBeq:
+      if (x[in.rs1] == x[in.rs2]) new_pc = state_.pc + static_cast<std::int64_t>(in.imm);
+      break;
+    case Op::kBne:
+      if (x[in.rs1] != x[in.rs2]) new_pc = state_.pc + static_cast<std::int64_t>(in.imm);
+      break;
+    case Op::kBlt:
+      if (sx(in.rs1) < sx(in.rs2)) new_pc = state_.pc + static_cast<std::int64_t>(in.imm);
+      break;
+    case Op::kBge:
+      if (sx(in.rs1) >= sx(in.rs2)) new_pc = state_.pc + static_cast<std::int64_t>(in.imm);
+      break;
+    case Op::kBltu:
+      if (x[in.rs1] < x[in.rs2]) new_pc = state_.pc + static_cast<std::int64_t>(in.imm);
+      break;
+    case Op::kBgeu:
+      if (x[in.rs1] >= x[in.rs2]) new_pc = state_.pc + static_cast<std::int64_t>(in.imm);
+      break;
+    case Op::kLw:
+      x[in.rd] = static_cast<std::uint64_t>(static_cast<std::int64_t>(
+          static_cast<std::int32_t>(memory_.read_u32(x[in.rs1] + in.imm))));
+      break;
+    case Op::kLwu:
+      x[in.rd] = memory_.read_u32(x[in.rs1] + in.imm);
+      break;
+    case Op::kLd:
+      x[in.rd] = memory_.read_u64(x[in.rs1] + in.imm);
+      break;
+    case Op::kSw:
+      memory_.write_u32(x[in.rs1] + in.imm, static_cast<std::uint32_t>(x[in.rs2]));
+      break;
+    case Op::kSd:
+      memory_.write_u64(x[in.rs1] + in.imm, x[in.rs2]);
+      break;
+    case Op::kFlw:
+      state_.f[in.rd] = memory_.read_u32(x[in.rs1] + in.imm);
+      break;
+    case Op::kFsw:
+      memory_.write_u32(x[in.rs1] + in.imm, state_.f[in.rs2]);
+      break;
+    case Op::kAddi: x[in.rd] = x[in.rs1] + static_cast<std::int64_t>(in.imm); break;
+    case Op::kSlti: x[in.rd] = sx(in.rs1) < in.imm ? 1 : 0; break;
+    case Op::kSltiu:
+      x[in.rd] = x[in.rs1] < static_cast<std::uint64_t>(static_cast<std::int64_t>(in.imm)) ? 1 : 0;
+      break;
+    case Op::kXori: x[in.rd] = x[in.rs1] ^ static_cast<std::uint64_t>(static_cast<std::int64_t>(in.imm)); break;
+    case Op::kOri: x[in.rd] = x[in.rs1] | static_cast<std::uint64_t>(static_cast<std::int64_t>(in.imm)); break;
+    case Op::kAndi: x[in.rd] = x[in.rs1] & static_cast<std::uint64_t>(static_cast<std::int64_t>(in.imm)); break;
+    case Op::kSlli: x[in.rd] = x[in.rs1] << in.imm; break;
+    case Op::kSrli: x[in.rd] = x[in.rs1] >> in.imm; break;
+    case Op::kSrai: x[in.rd] = static_cast<std::uint64_t>(sx(in.rs1) >> in.imm); break;
+    case Op::kAdd: x[in.rd] = x[in.rs1] + x[in.rs2]; break;
+    case Op::kSub: x[in.rd] = x[in.rs1] - x[in.rs2]; break;
+    case Op::kSll: x[in.rd] = x[in.rs1] << (x[in.rs2] & 63); break;
+    case Op::kSlt: x[in.rd] = sx(in.rs1) < sx(in.rs2) ? 1 : 0; break;
+    case Op::kSltu: x[in.rd] = x[in.rs1] < x[in.rs2] ? 1 : 0; break;
+    case Op::kXor: x[in.rd] = x[in.rs1] ^ x[in.rs2]; break;
+    case Op::kSrl: x[in.rd] = x[in.rs1] >> (x[in.rs2] & 63); break;
+    case Op::kSra: x[in.rd] = static_cast<std::uint64_t>(sx(in.rs1) >> (x[in.rs2] & 63)); break;
+    case Op::kOr: x[in.rd] = x[in.rs1] | x[in.rs2]; break;
+    case Op::kAnd: x[in.rd] = x[in.rs1] & x[in.rs2]; break;
+    case Op::kMul: x[in.rd] = x[in.rs1] * x[in.rs2]; break;
+    case Op::kEcall: pending_stop_ = StopReason::kEcall; break;
+    case Op::kEbreak: pending_stop_ = StopReason::kEbreak; break;
+    case Op::kMarker:
+      if (marker_hook_) marker_hook_(in.imm);
+      break;
+    case Op::kVsetvli: {
+      // AVL: x[rs1], or "as large as possible" when rs1 is x0 (and rd != x0).
+      const std::uint64_t avl = in.rs1 == 0 ? kVlMax : x[in.rs1];
+      state_.vl = static_cast<std::uint32_t>(std::min<std::uint64_t>(avl, kVlMax));
+      if (in.rd != 0) x[in.rd] = state_.vl;
+      break;
+    }
+    case Op::kVle32: {
+      const std::uint64_t base = x[in.rs1];
+      for (unsigned i = 0; i < state_.vl; ++i)
+        state_.v[in.rd][i] = memory_.read_u32(base + 4ull * i);
+      break;
+    }
+    case Op::kVse32: {
+      const std::uint64_t base = x[in.rs1];
+      for (unsigned i = 0; i < state_.vl; ++i)
+        memory_.write_u32(base + 4ull * i, state_.v[in.rd][i]);
+      break;
+    }
+    case Op::kVluxei32: {
+      const std::uint64_t base = x[in.rs1];
+      // Snapshot the index register: vd may alias vs2.
+      std::array<std::uint32_t, kVlMax> idx = state_.v[in.rs2];
+      for (unsigned i = 0; i < state_.vl; ++i)
+        state_.v[in.rd][i] = memory_.read_u32(base + idx[i]);
+      break;
+    }
+    case Op::kVaddVx:
+      for (unsigned i = 0; i < state_.vl; ++i)
+        state_.v[in.rd][i] = state_.v[in.rs2][i] + static_cast<std::uint32_t>(x[in.rs1]);
+      break;
+    case Op::kVaddVV:
+      for (unsigned i = 0; i < state_.vl; ++i)
+        state_.v[in.rd][i] = state_.v[in.rs2][i] + state_.v[in.rs1][i];
+      break;
+    case Op::kVfaddVV:
+      for (unsigned i = 0; i < state_.vl; ++i)
+        state_.set_velem_f32(in.rd, i,
+                             state_.velem_f32(in.rs2, i) + state_.velem_f32(in.rs1, i));
+      break;
+    case Op::kVmulVV:
+      for (unsigned i = 0; i < state_.vl; ++i)
+        state_.v[in.rd][i] = state_.v[in.rs2][i] * state_.v[in.rs1][i];
+      break;
+    case Op::kVfmulVV:
+      for (unsigned i = 0; i < state_.vl; ++i)
+        state_.set_velem_f32(in.rd, i,
+                             state_.velem_f32(in.rs2, i) * state_.velem_f32(in.rs1, i));
+      break;
+    case Op::kVredsumVS: {
+      std::uint32_t acc = state_.v[in.rs1][0];
+      for (unsigned i = 0; i < state_.vl; ++i) acc += state_.v[in.rs2][i];
+      if (state_.vl > 0) state_.v[in.rd][0] = acc;
+      break;
+    }
+    case Op::kVfredusumVS: {
+      float acc = state_.velem_f32(in.rs1, 0);
+      for (unsigned i = 0; i < state_.vl; ++i) acc += state_.velem_f32(in.rs2, i);
+      if (state_.vl > 0) state_.set_velem_f32(in.rd, 0, acc);
+      break;
+    }
+    case Op::kVaddVi:
+      for (unsigned i = 0; i < state_.vl; ++i)
+        state_.v[in.rd][i] = state_.v[in.rs2][i] + static_cast<std::uint32_t>(in.imm);
+      break;
+    case Op::kVmaccVx:
+      for (unsigned i = 0; i < state_.vl; ++i)
+        state_.v[in.rd][i] += static_cast<std::uint32_t>(x[in.rs1]) * state_.v[in.rs2][i];
+      break;
+    case Op::kVfmaccVf: {
+      const float s = state_.freg_f32(in.rs1);
+      for (unsigned i = 0; i < state_.vl; ++i)
+        state_.set_velem_f32(in.rd, i, state_.velem_f32(in.rd, i) + s * state_.velem_f32(in.rs2, i));
+      break;
+    }
+    case Op::kVmvVX:
+      for (unsigned i = 0; i < state_.vl; ++i)
+        state_.v[in.rd][i] = static_cast<std::uint32_t>(x[in.rs1]);
+      break;
+    case Op::kVmvVI:
+      for (unsigned i = 0; i < state_.vl; ++i)
+        state_.v[in.rd][i] = static_cast<std::uint32_t>(in.imm);
+      break;
+    case Op::kVmvXS:
+      // SEW=32 source element is sign-extended into the x register.
+      x[in.rd] = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(static_cast<std::int32_t>(state_.v[in.rs2][0])));
+      break;
+    case Op::kVfmvFS:
+      state_.f[in.rd] = state_.v[in.rs2][0];
+      break;
+    case Op::kVmvSX:
+      if (state_.vl > 0) state_.v[in.rd][0] = static_cast<std::uint32_t>(x[in.rs1]);
+      break;
+    case Op::kVslidedownVx:
+    case Op::kVslidedownVi: {
+      const std::uint64_t offset =
+          in.op == Op::kVslidedownVx ? x[in.rs1] : static_cast<std::uint64_t>(in.imm);
+      std::array<std::uint32_t, kVlMax> src = state_.v[in.rs2];
+      for (unsigned i = 0; i < state_.vl; ++i) {
+        const std::uint64_t j = i + offset;
+        state_.v[in.rd][i] = j < kVlMax ? src[j] : 0;
+      }
+      break;
+    }
+    case Op::kVslide1downVx: {
+      std::array<std::uint32_t, kVlMax> src = state_.v[in.rs2];
+      if (state_.vl > 0) {
+        for (unsigned i = 0; i + 1 < state_.vl; ++i) state_.v[in.rd][i] = src[i + 1];
+        state_.v[in.rd][state_.vl - 1] = static_cast<std::uint32_t>(x[in.rs1]);
+      }
+      break;
+    }
+    case Op::kVindexmacVx: {
+      const unsigned src_reg = static_cast<unsigned>(x[in.rs1] & 0x1f);
+      const auto scale = static_cast<std::int32_t>(state_.v[in.rs2][0]);
+      for (unsigned i = 0; i < state_.vl; ++i) {
+        const auto acc = static_cast<std::int32_t>(state_.v[in.rd][i]);
+        const auto operand = static_cast<std::int32_t>(state_.v[src_reg][i]);
+        state_.v[in.rd][i] = static_cast<std::uint32_t>(acc + scale * operand);
+      }
+      break;
+    }
+    case Op::kVfindexmacVx: {
+      const unsigned src_reg = static_cast<unsigned>(x[in.rs1] & 0x1f);
+      const float scale = state_.velem_f32(in.rs2, 0);
+      for (unsigned i = 0; i < state_.vl; ++i)
+        state_.set_velem_f32(in.rd, i,
+                             state_.velem_f32(in.rd, i) + scale * state_.velem_f32(src_reg, i));
+      break;
+    }
+    case Op::kIllegal:
+      raise("functional execution reached an illegal instruction");
+  }
+  state_.pc = new_pc;
+}
+
+}  // namespace indexmac

@@ -1,0 +1,69 @@
+// Functional (architectural) simulator: executes programs instruction by
+// instruction with exact RV64+RVV-subset semantics. It is the golden model
+// the timing simulator is validated against, and the engine behind kernel
+// correctness tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "asm/program.h"
+#include "isa/isa.h"
+#include "mem/main_memory.h"
+
+namespace indexmac {
+
+/// Architectural register state. f registers hold raw fp32 bits in the low
+/// word (the subset has no fp64); v registers hold kVlMax 32-bit elements.
+struct ArchState {
+  std::uint64_t pc = 0;
+  std::array<std::uint64_t, isa::kNumXRegs> x{};
+  std::array<std::uint32_t, isa::kNumFRegs> f{};
+  std::array<std::array<std::uint32_t, isa::kVlMax>, isa::kNumVRegs> v{};
+  std::uint32_t vl = 0;
+
+  [[nodiscard]] float freg_f32(unsigned r) const;
+  void set_freg_f32(unsigned r, float value);
+  [[nodiscard]] float velem_f32(unsigned reg, unsigned lane) const;
+  void set_velem_f32(unsigned reg, unsigned lane, float value);
+};
+
+/// Why a run loop stopped.
+enum class StopReason { kRunning, kEbreak, kEcall, kMaxSteps };
+
+/// One scalar core + vector engine executing a Program against MainMemory.
+class Machine {
+ public:
+  Machine(const Program& program, MainMemory& memory);
+
+  /// Executes a single instruction; returns the stop reason (kRunning if
+  /// execution may continue). Throws SimError on malformed execution
+  /// (pc outside program, vindexmac with vl==0 misuse never traps — the
+  /// instruction simply does nothing for vl==0).
+  StopReason step();
+
+  /// Runs until ebreak/ecall or `max_steps`. Returns the stop reason.
+  StopReason run(std::uint64_t max_steps = 100'000'000);
+
+  [[nodiscard]] const ArchState& state() const { return state_; }
+  [[nodiscard]] ArchState& state() { return state_; }
+  [[nodiscard]] const Program& program() const { return program_; }
+  [[nodiscard]] std::uint64_t instructions_retired() const { return retired_; }
+
+  /// Called when a marker instruction retires (id passed through).
+  void set_marker_hook(std::function<void(int)> hook) { marker_hook_ = std::move(hook); }
+
+ private:
+  void exec(const isa::Instruction& inst, std::uint64_t next_pc);
+
+  const Program& program_;
+  MainMemory& memory_;
+  ArchState state_;
+  std::uint64_t retired_ = 0;
+  std::function<void(int)> marker_hook_;
+  StopReason pending_stop_ = StopReason::kRunning;
+};
+
+}  // namespace indexmac

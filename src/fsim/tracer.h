@@ -1,0 +1,49 @@
+// Execution tracing for the functional simulator: per-instruction listing
+// with architectural effects (register writes, memory traffic), for
+// debugging hand-written kernels and for differential testing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "fsim/machine.h"
+
+namespace indexmac {
+
+/// One executed instruction and its visible effects.
+struct TraceRecord {
+  std::uint64_t index = 0;  ///< dynamic instruction number (0-based)
+  std::uint64_t pc = 0;
+  isa::Instruction inst;
+  std::string disasm;
+  /// Destination register value after execution, when the op writes one.
+  std::optional<std::uint64_t> x_write;
+  std::optional<std::uint32_t> f_write;  ///< raw fp32 bits
+  bool v_write = false;                  ///< a vector register changed
+  std::uint32_t vl = 0;
+};
+
+/// Steps a Machine while producing TraceRecords. The tracer does not own
+/// the machine; interleaving manual steps would desynchronize the count.
+class Tracer {
+ public:
+  explicit Tracer(Machine& machine) : machine_(machine) {}
+
+  /// Executes one instruction and returns its record plus the stop reason.
+  std::pair<TraceRecord, StopReason> step();
+
+  /// Runs up to `max_steps`, streaming one line per instruction to `out`.
+  /// Returns the stop reason.
+  StopReason run(std::ostream& out, std::uint64_t max_steps = 1'000'000);
+
+  /// Renders a record as a fixed-layout text line.
+  [[nodiscard]] static std::string format(const TraceRecord& record);
+
+ private:
+  Machine& machine_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace indexmac

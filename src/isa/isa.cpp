@@ -1,0 +1,293 @@
+#include "isa/isa.h"
+
+#include "common/error.h"
+
+namespace indexmac::isa {
+
+bool is_vector(Op op) {
+  switch (op) {
+    case Op::kVle32:
+    case Op::kVse32:
+    case Op::kVluxei32:
+    case Op::kVaddVx:
+    case Op::kVaddVi:
+    case Op::kVaddVV:
+    case Op::kVfaddVV:
+    case Op::kVmulVV:
+    case Op::kVfmulVV:
+    case Op::kVredsumVS:
+    case Op::kVfredusumVS:
+    case Op::kVmaccVx:
+    case Op::kVfmaccVf:
+    case Op::kVmvVX:
+    case Op::kVmvVI:
+    case Op::kVmvXS:
+    case Op::kVfmvFS:
+    case Op::kVmvSX:
+    case Op::kVslidedownVx:
+    case Op::kVslidedownVi:
+    case Op::kVslide1downVx:
+    case Op::kVindexmacVx:
+    case Op::kVfindexmacVx:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_branch(Op op) {
+  switch (op) {
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+    case Op::kBltu:
+    case Op::kBgeu:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_jump(Op op) { return op == Op::kJal || op == Op::kJalr; }
+
+bool is_scalar_load(Op op) {
+  return op == Op::kLw || op == Op::kLwu || op == Op::kLd || op == Op::kFlw;
+}
+
+bool is_scalar_store(Op op) { return op == Op::kSw || op == Op::kSd || op == Op::kFsw; }
+
+bool is_vector_load(Op op) { return op == Op::kVle32 || op == Op::kVluxei32; }
+
+bool is_vector_store(Op op) { return op == Op::kVse32; }
+
+bool is_vector_to_scalar(Op op) { return op == Op::kVmvXS || op == Op::kVfmvFS; }
+
+bool writes_x(const Instruction& inst) {
+  switch (inst.op) {
+    case Op::kLui:
+    case Op::kAuipc:
+    case Op::kJal:
+    case Op::kJalr:
+    case Op::kLw:
+    case Op::kLwu:
+    case Op::kLd:
+    case Op::kAddi:
+    case Op::kSlti:
+    case Op::kSltiu:
+    case Op::kXori:
+    case Op::kOri:
+    case Op::kAndi:
+    case Op::kSlli:
+    case Op::kSrli:
+    case Op::kSrai:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kSll:
+    case Op::kSlt:
+    case Op::kSltu:
+    case Op::kXor:
+    case Op::kSrl:
+    case Op::kSra:
+    case Op::kOr:
+    case Op::kAnd:
+    case Op::kMul:
+    case Op::kVsetvli:
+    case Op::kVmvXS:
+      return inst.rd != 0;
+    default:
+      return false;
+  }
+}
+
+bool writes_f(const Instruction& inst) {
+  return inst.op == Op::kFlw || inst.op == Op::kVfmvFS;
+}
+
+bool writes_v(const Instruction& inst) {
+  switch (inst.op) {
+    case Op::kVle32:
+    case Op::kVluxei32:
+    case Op::kVaddVx:
+    case Op::kVaddVi:
+    case Op::kVaddVV:
+    case Op::kVfaddVV:
+    case Op::kVmulVV:
+    case Op::kVfmulVV:
+    case Op::kVredsumVS:
+    case Op::kVfredusumVS:
+    case Op::kVmaccVx:
+    case Op::kVfmaccVf:
+    case Op::kVmvVX:
+    case Op::kVmvVI:
+    case Op::kVmvSX:
+    case Op::kVslidedownVx:
+    case Op::kVslidedownVi:
+    case Op::kVslide1downVx:
+    case Op::kVindexmacVx:
+    case Op::kVfindexmacVx:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool reads_x_rs1(const Instruction& inst) {
+  switch (inst.op) {
+    case Op::kJalr:
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+    case Op::kBltu:
+    case Op::kBgeu:
+    case Op::kLw:
+    case Op::kLwu:
+    case Op::kLd:
+    case Op::kSw:
+    case Op::kSd:
+    case Op::kFlw:
+    case Op::kFsw:
+    case Op::kAddi:
+    case Op::kSlti:
+    case Op::kSltiu:
+    case Op::kXori:
+    case Op::kOri:
+    case Op::kAndi:
+    case Op::kSlli:
+    case Op::kSrli:
+    case Op::kSrai:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kSll:
+    case Op::kSlt:
+    case Op::kSltu:
+    case Op::kXor:
+    case Op::kSrl:
+    case Op::kSra:
+    case Op::kOr:
+    case Op::kAnd:
+    case Op::kMul:
+    case Op::kVsetvli:
+    case Op::kVle32:
+    case Op::kVse32:
+    case Op::kVluxei32:
+    case Op::kVaddVx:
+    case Op::kVmaccVx:
+    case Op::kVmvVX:
+    case Op::kVmvSX:
+    case Op::kVslidedownVx:
+    case Op::kVslide1downVx:
+    case Op::kVindexmacVx:
+    case Op::kVfindexmacVx:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool reads_x_rs2(const Instruction& inst) {
+  switch (inst.op) {
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+    case Op::kBltu:
+    case Op::kBgeu:
+    case Op::kSw:
+    case Op::kSd:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kSll:
+    case Op::kSlt:
+    case Op::kSltu:
+    case Op::kXor:
+    case Op::kSrl:
+    case Op::kSra:
+    case Op::kOr:
+    case Op::kAnd:
+    case Op::kMul:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool reads_f_rs1(const Instruction& inst) {
+  // vfmacc.vf ships f[rs1] to the vector engine; fsw stores f[rs2] but we
+  // keep the value in the rs2 slot (see encoding.cpp), so only vfmacc here.
+  return inst.op == Op::kVfmaccVf;
+}
+
+std::string mnemonic(Op op) {
+  switch (op) {
+    case Op::kIllegal: return "illegal";
+    case Op::kLui: return "lui";
+    case Op::kAuipc: return "auipc";
+    case Op::kJal: return "jal";
+    case Op::kJalr: return "jalr";
+    case Op::kBeq: return "beq";
+    case Op::kBne: return "bne";
+    case Op::kBlt: return "blt";
+    case Op::kBge: return "bge";
+    case Op::kBltu: return "bltu";
+    case Op::kBgeu: return "bgeu";
+    case Op::kLw: return "lw";
+    case Op::kLwu: return "lwu";
+    case Op::kLd: return "ld";
+    case Op::kSw: return "sw";
+    case Op::kSd: return "sd";
+    case Op::kFlw: return "flw";
+    case Op::kFsw: return "fsw";
+    case Op::kAddi: return "addi";
+    case Op::kSlti: return "slti";
+    case Op::kSltiu: return "sltiu";
+    case Op::kXori: return "xori";
+    case Op::kOri: return "ori";
+    case Op::kAndi: return "andi";
+    case Op::kSlli: return "slli";
+    case Op::kSrli: return "srli";
+    case Op::kSrai: return "srai";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kSll: return "sll";
+    case Op::kSlt: return "slt";
+    case Op::kSltu: return "sltu";
+    case Op::kXor: return "xor";
+    case Op::kSrl: return "srl";
+    case Op::kSra: return "sra";
+    case Op::kOr: return "or";
+    case Op::kAnd: return "and";
+    case Op::kMul: return "mul";
+    case Op::kEcall: return "ecall";
+    case Op::kEbreak: return "ebreak";
+    case Op::kMarker: return "marker";
+    case Op::kVsetvli: return "vsetvli";
+    case Op::kVle32: return "vle32.v";
+    case Op::kVse32: return "vse32.v";
+    case Op::kVluxei32: return "vluxei32.v";
+    case Op::kVaddVx: return "vadd.vx";
+    case Op::kVaddVi: return "vadd.vi";
+    case Op::kVaddVV: return "vadd.vv";
+    case Op::kVfaddVV: return "vfadd.vv";
+    case Op::kVmulVV: return "vmul.vv";
+    case Op::kVfmulVV: return "vfmul.vv";
+    case Op::kVredsumVS: return "vredsum.vs";
+    case Op::kVfredusumVS: return "vfredusum.vs";
+    case Op::kVmaccVx: return "vmacc.vx";
+    case Op::kVfmaccVf: return "vfmacc.vf";
+    case Op::kVmvVX: return "vmv.v.x";
+    case Op::kVmvVI: return "vmv.v.i";
+    case Op::kVmvXS: return "vmv.x.s";
+    case Op::kVfmvFS: return "vfmv.f.s";
+    case Op::kVmvSX: return "vmv.s.x";
+    case Op::kVslidedownVx: return "vslidedown.vx";
+    case Op::kVslidedownVi: return "vslidedown.vi";
+    case Op::kVslide1downVx: return "vslide1down.vx";
+    case Op::kVindexmacVx: return "vindexmac.vx";
+    case Op::kVfindexmacVx: return "vfindexmac.vx";
+  }
+  raise("mnemonic: unknown op");
+}
+
+}  // namespace indexmac::isa

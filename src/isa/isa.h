@@ -1,0 +1,109 @@
+// Instruction-set definitions for the RV64 + RVV subset used by the
+// IndexMAC kernels, including the custom vindexmac/vfindexmac instructions.
+//
+// The subset is exactly what the paper's kernels require (plus a few
+// conveniences for tests/examples): RV64I integer ALU ops, loads/stores,
+// branches/jumps, M-extension mul, F-extension flw/fsw, and an RVV 1.0
+// slice with SEW=32 / LMUL=1 semantics. Everything else is rejected by the
+// decoder with a precise error.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace indexmac::isa {
+
+/// Hardware vector length in bits (Table I: 512-bit vector engine).
+inline constexpr unsigned kVlenBits = 512;
+/// Element width in bits; the kernels use 32-bit elements exclusively.
+inline constexpr unsigned kSewBits = 32;
+/// Elements per vector register (VLMAX at LMUL=1): 16 lanes worth.
+inline constexpr unsigned kVlMax = kVlenBits / kSewBits;
+/// Number of architectural registers in each file.
+inline constexpr unsigned kNumXRegs = 32;
+inline constexpr unsigned kNumFRegs = 32;
+inline constexpr unsigned kNumVRegs = 32;
+
+/// Mnemonic-level operation. Suffixes follow RVV conventions: Vx = vector
+/// op with scalar x-register operand, Vi = 5-bit immediate operand,
+/// Vf = scalar f-register operand.
+enum class Op : std::uint8_t {
+  kIllegal,
+  // RV64I upper-immediate / jumps.
+  kLui, kAuipc, kJal, kJalr,
+  // Branches.
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  // Loads / stores (x and f register files).
+  kLw, kLwu, kLd, kSw, kSd, kFlw, kFsw,
+  // Integer ALU, immediate forms.
+  kAddi, kSlti, kSltiu, kXori, kOri, kAndi, kSlli, kSrli, kSrai,
+  // Integer ALU, register forms (+ M-extension multiply).
+  kAdd, kSub, kSll, kSlt, kSltu, kXor, kSrl, kSra, kOr, kAnd, kMul,
+  // System.
+  kEcall, kEbreak,
+  // Simulation marker (custom-0 opcode): architectural no-op that carries a
+  // 12-bit id; the simulators record the cycle/statistics snapshot at which
+  // each marker commits. Used by the sampled experiment runner.
+  kMarker,
+  // RVV configuration.
+  kVsetvli,
+  // RVV unit-stride memory.
+  kVle32, kVse32,
+  // RVV indexed-unordered load (gather): vd[i] = mem32[x[rs1] + vs2[i]].
+  kVluxei32,
+  // RVV arithmetic / moves / slides (SEW=32).
+  kVaddVx, kVaddVi, kVaddVV, kVfaddVV, kVmulVV, kVfmulVV,
+  kVmaccVx, kVfmaccVf,
+  // Sum reductions: vd[0] = vs1[0] + sum(vs2[0..vl)).
+  kVredsumVS, kVfredusumVS,
+  kVmvVX, kVmvVI,
+  kVmvXS, kVfmvFS, kVmvSX,
+  kVslidedownVx, kVslidedownVi, kVslide1downVx,
+  // Custom IndexMAC instructions (Section III of the paper):
+  //   vd[i] += vs2[0] * VRF[x[rs1] & 0x1f][i]
+  // Integer and fp32 element interpretations share the datapath.
+  kVindexmacVx, kVfindexmacVx,
+};
+
+/// A decoded instruction. Register fields are interpreted per-op:
+/// scalar ops use x registers, kFlw/kFsw/kVfmaccVf/kVfmvFS touch f
+/// registers, and vector ops use v registers where noted in encoding.cpp.
+struct Instruction {
+  Op op = Op::kIllegal;
+  std::uint8_t rd = 0;   ///< destination (x/f/v); vs3 for stores
+  std::uint8_t rs1 = 0;  ///< first source (x/f); base address for memory ops
+  std::uint8_t rs2 = 0;  ///< second source (x) or vs2 (v)
+  std::int32_t imm = 0;  ///< immediate / vtype / marker id
+
+  friend bool operator==(const Instruction&, const Instruction&) = default;
+};
+
+/// vtype immediate for `vsetvli` encoding SEW=32, LMUL=1, ta, ma — the only
+/// configuration this subset supports.
+inline constexpr std::int32_t kVtypeE32M1 = 0xD0;
+
+// ---- Instruction classification (shared by both simulators) ----
+
+[[nodiscard]] bool is_vector(Op op);        ///< executes on the vector engine
+[[nodiscard]] bool is_branch(Op op);        ///< conditional branch
+[[nodiscard]] bool is_jump(Op op);          ///< jal/jalr
+[[nodiscard]] bool is_scalar_load(Op op);   ///< lw/lwu/ld/flw
+[[nodiscard]] bool is_scalar_store(Op op);  ///< sw/sd/fsw
+[[nodiscard]] bool is_vector_load(Op op);
+[[nodiscard]] bool is_vector_store(Op op);
+/// Vector instruction that produces a scalar (x or f) result and therefore
+/// requires a vector-engine -> scalar-core round trip (vmv.x.s / vfmv.f.s).
+[[nodiscard]] bool is_vector_to_scalar(Op op);
+
+/// Register-file usage queries used by rename/scoreboard logic.
+[[nodiscard]] bool writes_x(const Instruction& inst);
+[[nodiscard]] bool writes_f(const Instruction& inst);
+[[nodiscard]] bool writes_v(const Instruction& inst);
+[[nodiscard]] bool reads_x_rs1(const Instruction& inst);
+[[nodiscard]] bool reads_x_rs2(const Instruction& inst);
+[[nodiscard]] bool reads_f_rs1(const Instruction& inst);
+
+/// Mnemonic text ("vindexmac.vx"), as accepted by the text assembler.
+[[nodiscard]] std::string mnemonic(Op op);
+
+}  // namespace indexmac::isa

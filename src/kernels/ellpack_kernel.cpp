@@ -1,0 +1,119 @@
+#include "kernels/ellpack_kernel.h"
+
+#include "asm/assembler.h"
+#include "common/error.h"
+
+namespace indexmac::kernels {
+
+EllpackLayout make_ellpack_layout(const GemmDims& dims, std::size_t slots_padded,
+                                  AddressAllocator& alloc) {
+  IMAC_CHECK(dims.rows_a > 0 && dims.k > 0 && dims.cols_b > 0, "GEMM dims must be positive");
+  IMAC_CHECK(slots_padded % isa::kVlMax == 0, "slots must be padded to the vector length");
+  EllpackLayout out;
+  out.dims = dims;
+  out.slots_padded = slots_padded;
+  out.b_pitch_elems = round_up(dims.cols_b, isa::kVlMax);
+  out.c_pitch_elems = out.b_pitch_elems;
+  out.a_values = alloc.alloc(dims.rows_a * slots_padded * 4);
+  out.a_offsets = alloc.alloc(dims.rows_a * slots_padded * 4);
+  out.b_base = alloc.alloc(dims.k * out.b_pitch_elems * 4);
+  out.c_base = alloc.alloc(dims.rows_a * out.c_pitch_elems * 4);
+  return out;
+}
+
+namespace {
+
+// Register plan (self-contained; no overlap with loop-carried state):
+//  x5 scratch (vmv.x.s)   x6 value ptr      x7 offset ptr    x8 C row ptr
+//  x10 chunk ctr          x11 row ctr       x12 strip ctr    x13 vl=16
+//  x14 addr scratch       x15 C strip base  x16 B strip base x17 tail vl
+//  x20 C pitch            x22 strip step    x24 chunk bound  x26 strip bound
+//  v0 accumulator, v4 values, v8 offsets, v12 B row scratch
+class EllpackGenerator {
+ public:
+  explicit EllpackGenerator(const EllpackLayout& layout) : l_(layout) {}
+
+  Program generate() {
+    a_.li(x(13), isa::kVlMax);
+    a_.vsetvli_e32m1(x(0), x(13));
+    a_.li(x(17), l_.tail_cols() == 0 ? isa::kVlMax : l_.tail_cols());
+    a_.li(x(20), static_cast<std::int64_t>(l_.c_pitch_elems * 4));
+    a_.li(x(22), 64);
+    a_.li(x(24), static_cast<std::int64_t>(l_.slots_padded / isa::kVlMax));
+    a_.li(x(26), static_cast<std::int64_t>(l_.full_strips()));
+    a_.li(x(15), static_cast<std::int64_t>(l_.c_base));
+    a_.li(x(16), static_cast<std::int64_t>(l_.b_base));
+
+    if (l_.full_strips() > 0) {
+      a_.li(x(12), 0);
+      Assembler::Label strip_loop = a_.new_label();
+      a_.bind(strip_loop);
+      strip_body(/*tail=*/false);
+      a_.add(x(15), x(15), x(22));
+      a_.add(x(16), x(16), x(22));
+      a_.addi(x(12), x(12), 1);
+      a_.blt(x(12), x(26), strip_loop);
+    }
+    if (l_.tail_cols() != 0) strip_body(/*tail=*/true);
+    a_.ebreak();
+    return a_.finish();
+  }
+
+ private:
+  void strip_body(bool tail) {
+    a_.li(x(6), static_cast<std::int64_t>(l_.a_values));
+    a_.li(x(7), static_cast<std::int64_t>(l_.a_offsets));
+    a_.mv(x(8), x(15));
+    a_.li(x(11), static_cast<std::int64_t>(l_.dims.rows_a));
+    Assembler::Label row_loop = a_.new_label();
+    a_.bind(row_loop);
+    a_.vmv_v_i(v(0), 0);
+    a_.li(x(10), 0);
+    Assembler::Label chunk_loop = a_.new_label();
+    a_.bind(chunk_loop);
+    a_.vle32(v(4), x(6));
+    a_.vle32(v(8), x(7));
+    a_.vadd_vx(v(8), v(8), x(16));  // offsets -> absolute strip addresses
+    for (unsigned j = 0; j < isa::kVlMax; ++j) {
+      a_.vmv_x_s(x(5), v(8));
+      a_.vle32(v(12), x(5));       // the unavoidable per-non-zero B load
+      a_.vfmv_f_s(f(1), v(4));
+      a_.vfmacc_vf(v(0), f(1), v(12));
+      a_.vslide1down_vx(v(4), v(4), x(0));
+      a_.vslide1down_vx(v(8), v(8), x(0));
+    }
+    a_.addi(x(6), x(6), 64);
+    a_.addi(x(7), x(7), 64);
+    a_.addi(x(10), x(10), 1);
+    a_.blt(x(10), x(24), chunk_loop);
+    // Store the finished C row (narrow the store in the tail strip).
+    if (tail) a_.vsetvli_e32m1(x(0), x(17));
+    a_.vse32(v(0), x(8));
+    if (tail) a_.vsetvli_e32m1(x(0), x(13));
+    a_.add(x(8), x(8), x(20));
+    a_.addi(x(11), x(11), -1);
+    a_.bne(x(11), x(0), row_loop);
+  }
+
+  const EllpackLayout& l_;
+  Assembler a_;
+};
+
+}  // namespace
+
+Program emit_ellpack_kernel(const EllpackLayout& layout) {
+  return EllpackGenerator(layout).generate();
+}
+
+KernelFootprint predict_ellpack_footprint(const EllpackLayout& layout) {
+  const std::uint64_t strips = layout.full_strips() + (layout.tail_cols() != 0 ? 1 : 0);
+  const std::uint64_t chunks = layout.slots_padded / isa::kVlMax;
+  KernelFootprint fp;
+  fp.vector_loads =
+      strips * layout.dims.rows_a * (2 * chunks + layout.slots_padded);  // A strips + B rows
+  fp.vector_stores = strips * layout.dims.rows_a;
+  fp.macs = strips * layout.dims.rows_a * layout.slots_padded;
+  return fp;
+}
+
+}  // namespace indexmac::kernels

@@ -1,0 +1,45 @@
+// Unstructured-sparsity baseline kernel: row-wise ELLPACK SpMM.
+//
+// Because unstructured column indexes are unbounded, no B tile can be kept
+// resident in the vector register file (the paper's Section III argument);
+// every non-zero therefore loads its B row from memory, exactly like
+// Algorithm 2, but the value/index strips are consumed in chunks of the
+// vector length since rows can hold arbitrarily many non-zeros. The kernel
+// is C-stationary (C rows live in a register across the whole row).
+#pragma once
+
+#include <cstdint>
+
+#include "asm/program.h"
+#include "kernels/kernels.h"
+
+namespace indexmac::kernels {
+
+/// Memory layout of one ELLPACK multiplication.
+struct EllpackLayout {
+  GemmDims dims;
+  std::size_t slots_padded = 0;   ///< padded slots per row (multiple of 16)
+  std::size_t b_pitch_elems = 0;
+  std::size_t c_pitch_elems = 0;
+  std::uint64_t a_values = 0;
+  std::uint64_t a_offsets = 0;    ///< B-row byte offsets
+  std::uint64_t b_base = 0;
+  std::uint64_t c_base = 0;
+
+  [[nodiscard]] std::size_t full_strips() const { return dims.cols_b / isa::kVlMax; }
+  [[nodiscard]] unsigned tail_cols() const {
+    return static_cast<unsigned>(dims.cols_b % isa::kVlMax);
+  }
+};
+
+/// Computes the layout, reserving space via `alloc`.
+[[nodiscard]] EllpackLayout make_ellpack_layout(const GemmDims& dims, std::size_t slots_padded,
+                                                AddressAllocator& alloc);
+
+/// Emits the ELLPACK kernel (fp32, unroll 1).
+[[nodiscard]] Program emit_ellpack_kernel(const EllpackLayout& layout);
+
+/// Dynamic memory-operation counts (for access accounting).
+[[nodiscard]] KernelFootprint predict_ellpack_footprint(const EllpackLayout& layout);
+
+}  // namespace indexmac::kernels

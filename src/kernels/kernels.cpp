@@ -1,0 +1,489 @@
+#include "kernels/kernels.h"
+
+#include "asm/assembler.h"
+#include "common/error.h"
+
+namespace indexmac::kernels {
+namespace {
+
+// Scalar register allocation shared by all generators (no ABI: whole-program
+// kernels). Comments give the role; all values fit the listed registers.
+constexpr unsigned kXScratchMv = 5;    // vmv.x.s destination (index/address)
+constexpr unsigned kXAval = 6;         // A values stream pointer
+constexpr unsigned kXAidx = 7;         // A indices stream pointer
+constexpr unsigned kXCRow = 8;         // current C row pointer
+constexpr unsigned kXBTile = 9;        // current B tile pointer (Alg3) / B row base (Alg1)
+constexpr unsigned kXKtile = 10;       // k-tile loop counter
+constexpr unsigned kXGroup = 11;       // row-group loop counter
+constexpr unsigned kXStrip = 12;       // column-strip loop counter
+constexpr unsigned kXVlFull = 13;      // constant 16 (full vector length)
+constexpr unsigned kXAddr = 14;        // address scratch
+constexpr unsigned kXCStrip = 15;      // C strip base
+constexpr unsigned kXBStrip = 16;      // B strip base
+constexpr unsigned kXVlTail = 17;      // constant: tail strip width
+constexpr unsigned kXBPitch = 19;      // B row pitch in bytes
+constexpr unsigned kXCPitch = 20;      // C row pitch in bytes
+constexpr unsigned kXStripStep = 22;   // constant 64 (one strip in bytes)
+constexpr unsigned kXNumKtiles = 24;   // k-tile loop bound
+constexpr unsigned kXKtileStep = 25;   // B-tile step (Alg3) / A k-tile stride (strided traversals)
+constexpr unsigned kXNumStrips = 26;   // full-strip loop bound
+constexpr unsigned kXStripBound = 27;  // A-stationary strip loop bound
+constexpr unsigned kXGroupAvalBase = 28;  // A-group base pointers (strided traversals)
+constexpr unsigned kXGroupAidxBase = 29;
+constexpr unsigned kXValXfer0 = 30;    // integer value transfer scratch (i32 Alg2), +1
+
+// Vector register allocation.
+constexpr unsigned kVAcc = 0;      // v0..v3: C accumulators (U <= 4)
+constexpr unsigned kVVal = 4;      // v4..v7: A value strips
+constexpr unsigned kVIdx = 8;      // v8..v11: A index strips
+constexpr unsigned kVBScratch = 12;  // v12..v15: B rows loaded from memory (Alg2) / dense A (Alg1)
+constexpr unsigned kVMasterVal = 16;  // v16..v19: A-stationary master copies
+constexpr unsigned kVMasterIdx = 20;  // v20..v23
+
+/// Shared emission state for one kernel generation.
+class Generator {
+ public:
+  Generator(const SpmmLayout& layout, const KernelOptions& options)
+      : l_(layout), o_(options) {
+    IMAC_CHECK(o_.unroll >= 1 && o_.unroll <= 4, "unroll must be in [1,4]");
+    IMAC_CHECK(l_.tile_rows <= 16, "tile_rows beyond 16 collides with working registers");
+  }
+
+  Program indexmac() {
+    IMAC_CHECK(b_tile_base_vreg(l_.tile_rows) >= kVMasterVal,
+               "B tile would collide with working vector registers");
+    prologue();
+    emit_strips([this](bool tail) { bstationary_strip_body(/*preload=*/true, tail); });
+    epilogue();
+    return a_.finish();
+  }
+
+  Program rowwise() {
+    prologue();
+    switch (o_.dataflow) {
+      case Dataflow::kBStationary:
+        emit_strips([this](bool tail) { bstationary_strip_body(/*preload=*/false, tail); });
+        break;
+      case Dataflow::kCStationary:
+        emit_strips([this](bool tail) { cstationary_strip_body(tail); });
+        break;
+      case Dataflow::kAStationary:
+        astationary_all();
+        break;
+    }
+    epilogue();
+    return a_.finish();
+  }
+
+  Program dense(std::uint64_t a_base, std::size_t a_pitch_elems) {
+    prologue();
+    dense_a_base_ = a_base;
+    dense_a_pitch_bytes_ = a_pitch_elems * 4;
+    emit_strips([this](bool tail) { dense_strip_body(tail); });
+    epilogue();
+    return a_.finish();
+  }
+
+ private:
+  using Label = Assembler::Label;
+
+  // ---- small helpers ----
+
+  void marker(MarkerId id) {
+    if (o_.emit_markers) a_.marker(id);
+  }
+
+  unsigned slots4() const { return l_.slots_per_tile * 4; }
+
+  /// Emits the constant setup shared by every kernel.
+  void prologue() {
+    a_.li(x(kXVlFull), isa::kVlMax);
+    a_.vsetvli_e32m1(x(0), x(kXVlFull));
+    a_.li(x(kXVlTail), l_.tail_cols() == 0 ? isa::kVlMax : l_.tail_cols());
+    a_.li(x(kXBPitch), static_cast<std::int64_t>(l_.b_pitch_elems * 4));
+    a_.li(x(kXCPitch), static_cast<std::int64_t>(l_.c_pitch_elems * 4));
+    a_.li(x(kXStripStep), 64);
+    a_.li(x(kXNumKtiles), static_cast<std::int64_t>(l_.num_ktiles));
+    a_.li(x(kXNumStrips), static_cast<std::int64_t>(l_.full_strips()));
+    marker(kMarkerKernelStart);
+  }
+
+  void epilogue() {
+    marker(kMarkerKernelEnd);
+    a_.ebreak();
+  }
+
+  /// Runs `body(tail)` over all full strips (as an asm loop) and once more
+  /// for the tail strip if the column count is not a multiple of 16.
+  template <typename Body>
+  void emit_strips(Body&& body) {
+    a_.li(x(kXCStrip), static_cast<std::int64_t>(l_.c_base));
+    a_.li(x(kXBStrip), static_cast<std::int64_t>(l_.b_base));
+    if (l_.full_strips() > 0) {
+      a_.li(x(kXStrip), 0);
+      Label strip_loop = a_.new_label();
+      a_.bind(strip_loop);
+      body(/*tail=*/false);
+      a_.add(x(kXCStrip), x(kXCStrip), x(kXStripStep));
+      a_.add(x(kXBStrip), x(kXBStrip), x(kXStripStep));
+      a_.addi(x(kXStrip), x(kXStrip), 1);
+      a_.blt(x(kXStrip), x(kXNumStrips), strip_loop);
+    }
+    if (l_.tail_cols() != 0) body(/*tail=*/true);
+  }
+
+  /// Loads the A value/index strips for `u` consecutive rows from the
+  /// stream pointers (sequential [ktile][row][slot] layout).
+  void load_a_group(unsigned u) {
+    for (unsigned r = 0; r < u; ++r) {
+      a_.addi(x(kXAddr), x(kXAval), static_cast<std::int32_t>(r * slots4()));
+      a_.vle32(v(kVVal + r), x(kXAddr));
+    }
+    for (unsigned r = 0; r < u; ++r) {
+      a_.addi(x(kXAddr), x(kXAidx), static_cast<std::int32_t>(r * slots4()));
+      a_.vle32(v(kVIdx + r), x(kXAddr));
+    }
+  }
+
+  /// Turns the loaded byte-offset indices into absolute B row addresses
+  /// for the current strip (paper Alg. 2 line 5).
+  void adjust_indices_group(unsigned u) {
+    for (unsigned r = 0; r < u; ++r) a_.vadd_vx(v(kVIdx + r), v(kVIdx + r), x(kXBStrip));
+  }
+
+  void load_c_group(unsigned u) {
+    a_.mv(x(kXAddr), x(kXCRow));
+    for (unsigned r = 0; r < u; ++r) {
+      if (r > 0) a_.add(x(kXAddr), x(kXAddr), x(kXCPitch));
+      a_.vle32(v(kVAcc + r), x(kXAddr));
+    }
+  }
+
+  void zero_c_group(unsigned u) {
+    for (unsigned r = 0; r < u; ++r) a_.vmv_v_i(v(kVAcc + r), 0);
+  }
+
+  /// Stores C rows; in a tail strip the store width is narrowed so the next
+  /// row's data is not clobbered.
+  void store_c_group(unsigned u, bool tail) {
+    if (tail) a_.vsetvli_e32m1(x(0), x(kXVlTail));
+    a_.mv(x(kXAddr), x(kXCRow));
+    for (unsigned r = 0; r < u; ++r) {
+      if (r > 0) a_.add(x(kXAddr), x(kXAddr), x(kXCPitch));
+      a_.vse32(v(kVAcc + r), x(kXAddr));
+    }
+    if (tail) a_.vsetvli_e32m1(x(0), x(kXVlFull));
+  }
+
+  /// Algorithm 3 inner body: per non-zero slot, move the packed VRF index
+  /// to a scalar register and issue the indirect multiply-accumulate.
+  /// The value/index strips are consumed with vector slides (paper Alg. 3
+  /// lines 10-13), fully unrolled over the slots of this k-tile.
+  void inner_indexmac(unsigned u) {
+    for (unsigned j = 0; j < l_.slots_per_tile; ++j) {
+      for (unsigned r = 0; r < u; ++r) {
+        a_.vmv_x_s(x(kXScratchMv), v(kVIdx + r));
+        if (o_.elem == ElemType::kF32)
+          a_.vfindexmac_vx(v(kVAcc + r), v(kVVal + r), x(kXScratchMv));
+        else
+          a_.vindexmac_vx(v(kVAcc + r), v(kVVal + r), x(kXScratchMv));
+      }
+      for (unsigned r = 0; r < u; ++r) {
+        a_.vslide1down_vx(v(kVVal + r), v(kVVal + r), x(0));
+        a_.vslide1down_vx(v(kVIdx + r), v(kVIdx + r), x(0));
+      }
+    }
+  }
+
+  /// Algorithm 2 inner body: per non-zero slot, move the B row address to a
+  /// scalar register, load the B row from memory, move the value to a
+  /// scalar register and multiply-accumulate (paper Alg. 2 lines 7-12).
+  void inner_rowwise(unsigned u) {
+    for (unsigned j = 0; j < l_.slots_per_tile; ++j) {
+      for (unsigned r = 0; r < u; ++r) {
+        a_.vmv_x_s(x(kXScratchMv), v(kVIdx + r));
+        a_.vle32(v(kVBScratch + r), x(kXScratchMv));
+      }
+      for (unsigned r = 0; r < u; ++r) {
+        if (o_.elem == ElemType::kF32) {
+          a_.vfmv_f_s(f(1 + r), v(kVVal + r));
+          a_.vfmacc_vf(v(kVAcc + r), f(1 + r), v(kVBScratch + r));
+        } else {
+          a_.vmv_x_s(x(kXValXfer0 + (r & 1)), v(kVVal + r));
+          a_.vmacc_vx(v(kVAcc + r), x(kXValXfer0 + (r & 1)), v(kVBScratch + r));
+        }
+      }
+      for (unsigned r = 0; r < u; ++r) {
+        a_.vslide1down_vx(v(kVVal + r), v(kVVal + r), x(0));
+        a_.vslide1down_vx(v(kVIdx + r), v(kVIdx + r), x(0));
+      }
+    }
+  }
+
+  /// Advances the A stream and C row pointers past `u` rows.
+  void advance_group(unsigned u) {
+    a_.addi(x(kXAval), x(kXAval), static_cast<std::int32_t>(u * slots4()));
+    a_.addi(x(kXAidx), x(kXAidx), static_cast<std::int32_t>(u * slots4()));
+    for (unsigned r = 0; r < u; ++r) a_.add(x(kXCRow), x(kXCRow), x(kXCPitch));
+  }
+
+  /// Emits a counted loop over the full row groups plus a remainder body.
+  template <typename GroupBody>
+  void emit_row_groups(GroupBody&& body) {
+    const std::size_t full_groups = l_.dims.rows_a / o_.unroll;
+    const unsigned rem = static_cast<unsigned>(l_.dims.rows_a % o_.unroll);
+    if (full_groups > 0) {
+      a_.li(x(kXGroup), static_cast<std::int64_t>(full_groups));
+      Label group_loop = a_.new_label();
+      a_.bind(group_loop);
+      body(o_.unroll);
+      a_.addi(x(kXGroup), x(kXGroup), -1);
+      a_.bne(x(kXGroup), x(0), group_loop);
+    }
+    if (rem > 0) body(rem);
+  }
+
+  /// Preloads the L-row B tile into v[32-L..31] (paper Alg. 3 lines 2-4).
+  void preload_b_tile() {
+    a_.mv(x(kXAddr), x(kXBTile));
+    const unsigned base = b_tile_base_vreg(l_.tile_rows);
+    for (unsigned row = 0; row < l_.tile_rows; ++row) {
+      if (row > 0) a_.add(x(kXAddr), x(kXAddr), x(kXBPitch));
+      a_.vle32(v(base + row), x(kXAddr));
+    }
+  }
+
+  /// B-stationary strip body used by Algorithm 3 (preload=true) and the
+  /// B-stationary variant of Algorithm 2 (preload=false):
+  ///   for each k-tile: [preload B tile;] for each row group:
+  ///     load A strips (+C), run the inner body, store C.
+  void bstationary_strip_body(bool preload, bool tail) {
+    a_.li(x(kXAval), static_cast<std::int64_t>(l_.a_values));
+    a_.li(x(kXAidx), static_cast<std::int64_t>(l_.a_indices));
+    a_.mv(x(kXBTile), x(kXBStrip));
+    if (preload)
+      a_.li(x(kXKtileStep), static_cast<std::int64_t>(l_.tile_rows * l_.b_pitch_elems * 4));
+    a_.li(x(kXKtile), 0);
+    Label ktile_loop = a_.new_label();
+    a_.bind(ktile_loop);
+    if (preload) preload_b_tile();
+    marker(kMarkerPreloadDone);
+    a_.mv(x(kXCRow), x(kXCStrip));
+    emit_row_groups([&](unsigned u) {
+      load_a_group(u);
+      if (!preload) adjust_indices_group(u);
+      load_c_group(u);
+      if (preload)
+        inner_indexmac(u);
+      else
+        inner_rowwise(u);
+      store_c_group(u, tail);
+      marker(kMarkerRowGroupDone);
+      advance_group(u);
+    });
+    if (preload) a_.add(x(kXBTile), x(kXBTile), x(kXKtileStep));
+    a_.addi(x(kXKtile), x(kXKtile), 1);
+    a_.blt(x(kXKtile), x(kXNumKtiles), ktile_loop);
+  }
+
+  /// C-stationary Algorithm 2: C rows stay in registers across all k-tiles;
+  /// the A stream is traversed strided ([ktile][row] layout, fixed row).
+  void cstationary_strip_body(bool tail) {
+    a_.li(x(kXGroupAvalBase), static_cast<std::int64_t>(l_.a_values));
+    a_.li(x(kXGroupAidxBase), static_cast<std::int64_t>(l_.a_indices));
+    a_.li(x(kXKtileStep), static_cast<std::int64_t>(l_.dims.rows_a * slots4()));
+    a_.mv(x(kXCRow), x(kXCStrip));
+    emit_row_groups([&](unsigned u) {
+      zero_c_group(u);  // C starts at zero; no memory read needed
+      a_.mv(x(kXAval), x(kXGroupAvalBase));
+      a_.mv(x(kXAidx), x(kXGroupAidxBase));
+      a_.li(x(kXKtile), 0);
+      Label ktile_loop = a_.new_label();
+      a_.bind(ktile_loop);
+      marker(kMarkerPreloadDone);
+      load_a_group(u);
+      adjust_indices_group(u);
+      inner_rowwise(u);
+      a_.add(x(kXAval), x(kXAval), x(kXKtileStep));
+      a_.add(x(kXAidx), x(kXAidx), x(kXKtileStep));
+      a_.addi(x(kXKtile), x(kXKtile), 1);
+      a_.blt(x(kXKtile), x(kXNumKtiles), ktile_loop);
+      store_c_group(u, tail);
+      marker(kMarkerRowGroupDone);
+      a_.addi(x(kXGroupAvalBase), x(kXGroupAvalBase), static_cast<std::int32_t>(u * slots4()));
+      a_.addi(x(kXGroupAidxBase), x(kXGroupAidxBase), static_cast<std::int32_t>(u * slots4()));
+      for (unsigned r = 0; r < u; ++r) a_.add(x(kXCRow), x(kXCRow), x(kXCPitch));
+    });
+  }
+
+  /// A-stationary Algorithm 2: A value/index strips are loaded once per
+  /// (row group, k-tile) into master registers and re-derived per strip
+  /// (index copy folds in the strip base; value copy is a bit-preserving
+  /// integer add of zero).
+  void astationary_all() {
+    IMAC_CHECK(o_.unroll <= 4, "A-stationary masters support up to 4-way unroll");
+    a_.li(x(kXGroupAvalBase), static_cast<std::int64_t>(l_.a_values));
+    a_.li(x(kXGroupAidxBase), static_cast<std::int64_t>(l_.a_indices));
+    a_.li(x(kXKtileStep), static_cast<std::int64_t>(l_.dims.rows_a * slots4()));
+    a_.li(x(kXCRow), static_cast<std::int64_t>(l_.c_base));  // group base (strip 0)
+    emit_row_groups([&](unsigned u) {
+      a_.mv(x(kXAval), x(kXGroupAvalBase));
+      a_.mv(x(kXAidx), x(kXGroupAidxBase));
+      a_.li(x(kXKtile), 0);
+      Label ktile_loop = a_.new_label();
+      a_.bind(ktile_loop);
+      marker(kMarkerPreloadDone);
+      // Load masters.
+      for (unsigned r = 0; r < u; ++r) {
+        a_.addi(x(kXAddr), x(kXAval), static_cast<std::int32_t>(r * slots4()));
+        a_.vle32(v(kVMasterVal + r), x(kXAddr));
+      }
+      for (unsigned r = 0; r < u; ++r) {
+        a_.addi(x(kXAddr), x(kXAidx), static_cast<std::int32_t>(r * slots4()));
+        a_.vle32(v(kVMasterIdx + r), x(kXAddr));
+      }
+      // Sweep strips with working copies.
+      a_.li(x(kXCStrip), 0);  // byte offset of the strip
+      a_.li(x(kXBStrip), static_cast<std::int64_t>(l_.b_base));
+      auto strip_visit = [&](bool tail) {
+        for (unsigned r = 0; r < u; ++r) {
+          a_.vadd_vx(v(kVIdx + r), v(kVMasterIdx + r), x(kXBStrip));
+          a_.vadd_vi(v(kVVal + r), v(kVMasterVal + r), 0);
+        }
+        a_.add(x(kXAddr), x(kXCRow), x(kXCStrip));
+        a_.mv(x(kXStrip), x(kXAddr));  // stash C strip pointer
+        load_c_group_at(u, x(kXStrip));
+        inner_rowwise(u);
+        store_c_group_at(u, x(kXStrip), tail);
+      };
+      if (l_.full_strips() > 0) {
+        a_.li(x(kXStripBound), static_cast<std::int64_t>(l_.full_strips() * 64));
+        Label strip_loop = a_.new_label();
+        a_.bind(strip_loop);
+        strip_visit(/*tail=*/false);
+        a_.add(x(kXBStrip), x(kXBStrip), x(kXStripStep));
+        a_.addi(x(kXCStrip), x(kXCStrip), 64);
+        a_.blt(x(kXCStrip), x(kXStripBound), strip_loop);
+      }
+      if (l_.tail_cols() != 0) strip_visit(/*tail=*/true);
+      a_.add(x(kXAval), x(kXAval), x(kXKtileStep));
+      a_.add(x(kXAidx), x(kXAidx), x(kXKtileStep));
+      a_.addi(x(kXKtile), x(kXKtile), 1);
+      a_.blt(x(kXKtile), x(kXNumKtiles), ktile_loop);
+      marker(kMarkerRowGroupDone);
+      a_.addi(x(kXGroupAvalBase), x(kXGroupAvalBase), static_cast<std::int32_t>(u * slots4()));
+      a_.addi(x(kXGroupAidxBase), x(kXGroupAidxBase), static_cast<std::int32_t>(u * slots4()));
+      for (unsigned r = 0; r < u; ++r) a_.add(x(kXCRow), x(kXCRow), x(kXCPitch));
+    });
+  }
+
+  /// C group load/store from an explicit base register (A-stationary).
+  void load_c_group_at(unsigned u, XReg base) {
+    a_.mv(x(kXAddr), base);
+    for (unsigned r = 0; r < u; ++r) {
+      if (r > 0) a_.add(x(kXAddr), x(kXAddr), x(kXCPitch));
+      a_.vle32(v(kVAcc + r), x(kXAddr));
+    }
+  }
+  void store_c_group_at(unsigned u, XReg base, bool tail) {
+    if (tail) a_.vsetvli_e32m1(x(0), x(kXVlTail));
+    a_.mv(x(kXAddr), base);
+    for (unsigned r = 0; r < u; ++r) {
+      if (r > 0) a_.add(x(kXAddr), x(kXAddr), x(kXCPitch));
+      a_.vse32(v(kVAcc + r), x(kXAddr));
+    }
+    if (tail) a_.vsetvli_e32m1(x(0), x(kXVlFull));
+  }
+
+  /// Algorithm 1: dense row-wise matmul, one output row at a time. The A
+  /// row is processed in 16-element chunks; each element multiplies the
+  /// corresponding B row (paper Alg. 1).
+  void dense_strip_body(bool tail) {
+    a_.li(x(kXAval), static_cast<std::int64_t>(dense_a_base_));
+    a_.mv(x(kXCRow), x(kXCStrip));
+    const std::size_t chunks = ceil_div(l_.dims.k, isa::kVlMax);
+    a_.li(x(kXKtileStep), static_cast<std::int64_t>(chunks));
+    emit_row_groups_dense([&]() {
+      a_.vmv_v_i(v(kVAcc), 0);
+      a_.mv(x(kXBTile), x(kXBStrip));   // current B row pointer
+      a_.mv(x(kXGroupAvalBase), x(kXAval));  // chunk pointer
+      a_.li(x(kXKtile), 0);
+      Label chunk_loop = a_.new_label();
+      a_.bind(chunk_loop);
+      marker(kMarkerPreloadDone);
+      a_.vle32(v(kVVal), x(kXGroupAvalBase));
+      for (unsigned j = 0; j < isa::kVlMax; ++j) {
+        a_.vfmv_f_s(f(1), v(kVVal));
+        a_.vle32(v(kVBScratch), x(kXBTile));
+        a_.vfmacc_vf(v(kVAcc), f(1), v(kVBScratch));
+        a_.vslide1down_vx(v(kVVal), v(kVVal), x(0));
+        a_.add(x(kXBTile), x(kXBTile), x(kXBPitch));
+      }
+      a_.addi(x(kXGroupAvalBase), x(kXGroupAvalBase), 64);
+      a_.addi(x(kXKtile), x(kXKtile), 1);
+      a_.blt(x(kXKtile), x(kXKtileStep), chunk_loop);
+      store_c_group(1, tail);
+      marker(kMarkerRowGroupDone);
+      a_.li(x(kXAddr), static_cast<std::int64_t>(dense_a_pitch_bytes_));
+      a_.add(x(kXAval), x(kXAval), x(kXAddr));
+      a_.add(x(kXCRow), x(kXCRow), x(kXCPitch));
+    });
+  }
+
+  template <typename RowBody>
+  void emit_row_groups_dense(RowBody&& body) {
+    a_.li(x(kXGroup), static_cast<std::int64_t>(l_.dims.rows_a));
+    Label row_loop = a_.new_label();
+    a_.bind(row_loop);
+    body();
+    a_.addi(x(kXGroup), x(kXGroup), -1);
+    a_.bne(x(kXGroup), x(0), row_loop);
+  }
+
+  const SpmmLayout& l_;
+  const KernelOptions& o_;
+  Assembler a_;
+  std::uint64_t dense_a_base_ = 0;
+  std::size_t dense_a_pitch_bytes_ = 0;
+};
+
+}  // namespace
+
+Program emit_indexmac_kernel(const SpmmLayout& layout, const KernelOptions& options) {
+  IMAC_CHECK(options.dataflow == Dataflow::kBStationary,
+             "Algorithm 3 is B-stationary by construction");
+  return Generator(layout, options).indexmac();
+}
+
+Program emit_rowwise_spmm_kernel(const SpmmLayout& layout, const KernelOptions& options) {
+  return Generator(layout, options).rowwise();
+}
+
+Program emit_dense_rowwise_kernel(const SpmmLayout& layout, std::uint64_t a_dense_base,
+                                  std::size_t a_pitch_elems, const KernelOptions& options) {
+  IMAC_CHECK(options.unroll == 1, "the dense baseline supports unroll=1 only");
+  return Generator(layout, options).dense(a_dense_base, a_pitch_elems);
+}
+
+KernelFootprint predict_indexmac_footprint(const SpmmLayout& layout) {
+  const std::uint64_t strips = layout.full_strips() + (layout.tail_cols() != 0 ? 1 : 0);
+  const std::uint64_t per_ktile_loads =
+      layout.tile_rows + 3ull * layout.dims.rows_a;  // preload + (values+indices+C) per row
+  KernelFootprint fp;
+  fp.vector_loads = strips * layout.num_ktiles * per_ktile_loads;
+  fp.vector_stores = strips * layout.num_ktiles * layout.dims.rows_a;
+  fp.macs = strips * layout.num_ktiles * layout.dims.rows_a * layout.slots_per_tile;
+  return fp;
+}
+
+KernelFootprint predict_rowwise_footprint(const SpmmLayout& layout) {
+  const std::uint64_t strips = layout.full_strips() + (layout.tail_cols() != 0 ? 1 : 0);
+  const std::uint64_t per_row_loads = 3ull + layout.slots_per_tile;  // values+indices+C+B rows
+  KernelFootprint fp;
+  fp.vector_loads = strips * layout.num_ktiles * layout.dims.rows_a * per_row_loads;
+  fp.vector_stores = strips * layout.num_ktiles * layout.dims.rows_a;
+  fp.macs = strips * layout.num_ktiles * layout.dims.rows_a * layout.slots_per_tile;
+  return fp;
+}
+
+}  // namespace indexmac::kernels

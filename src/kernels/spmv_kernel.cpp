@@ -1,0 +1,76 @@
+#include "kernels/spmv_kernel.h"
+
+#include "asm/assembler.h"
+#include "common/error.h"
+
+namespace indexmac::kernels {
+
+SpmvLayout make_spmv_layout(std::size_t rows, std::size_t k, std::size_t slots_padded,
+                            AddressAllocator& alloc) {
+  IMAC_CHECK(rows > 0 && k > 0, "SpMV dims must be positive");
+  IMAC_CHECK(slots_padded % isa::kVlMax == 0, "slots must be padded to the vector length");
+  SpmvLayout out;
+  out.rows = rows;
+  out.k = k;
+  out.slots_padded = slots_padded;
+  out.a_values = alloc.alloc(rows * slots_padded * 4);
+  out.a_offsets = alloc.alloc(rows * slots_padded * 4);
+  out.x_base = alloc.alloc(k * 4);
+  out.y_base = alloc.alloc(rows * 4);
+  return out;
+}
+
+// Register plan:
+//  x6 value ptr   x7 offset ptr   x8 y ptr     x9 x base
+//  x10 chunk ctr  x11 row ctr     x13 vl=16    x24 chunk bound
+//  v0 accumulator, v4 values, v8 offsets, v12 gathered x, v16 products,
+//  v20 reduction result, v24 zero seed
+Program emit_spmv_kernel(const SpmvLayout& layout, ElemType elem) {
+  Assembler a;
+  a.li(x(13), isa::kVlMax);
+  a.vsetvli_e32m1(x(0), x(13));
+  a.vmv_v_i(v(24), 0);  // reduction seed
+  a.li(x(6), static_cast<std::int64_t>(layout.a_values));
+  a.li(x(7), static_cast<std::int64_t>(layout.a_offsets));
+  a.li(x(8), static_cast<std::int64_t>(layout.y_base));
+  a.li(x(9), static_cast<std::int64_t>(layout.x_base));
+  a.li(x(24), static_cast<std::int64_t>(layout.slots_padded / isa::kVlMax));
+  a.li(x(11), static_cast<std::int64_t>(layout.rows));
+
+  Assembler::Label row_loop = a.new_label();
+  a.bind(row_loop);
+  a.vmv_v_i(v(0), 0);
+  a.li(x(10), 0);
+  Assembler::Label chunk_loop = a.new_label();
+  a.bind(chunk_loop);
+  a.vle32(v(4), x(6));
+  a.vle32(v(8), x(7));
+  a.vluxei32(v(12), x(9), v(8));  // gather x elements
+  if (elem == ElemType::kF32) {
+    a.vfmul_vv(v(16), v(4), v(12));
+    a.vfadd_vv(v(0), v(0), v(16));
+  } else {
+    a.vmul_vv(v(16), v(4), v(12));
+    a.vadd_vv(v(0), v(0), v(16));
+  }
+  a.addi(x(6), x(6), 64);
+  a.addi(x(7), x(7), 64);
+  a.addi(x(10), x(10), 1);
+  a.blt(x(10), x(24), chunk_loop);
+  if (elem == ElemType::kF32) {
+    a.vfredusum_vs(v(20), v(0), v(24));
+    a.vfmv_f_s(f(1), v(20));
+    a.fsw(f(1), x(8), 0);
+  } else {
+    a.vredsum_vs(v(20), v(0), v(24));
+    a.vmv_x_s(x(5), v(20));
+    a.sw(x(5), x(8), 0);
+  }
+  a.addi(x(8), x(8), 4);
+  a.addi(x(11), x(11), -1);
+  a.bne(x(11), x(0), row_loop);
+  a.ebreak();
+  return a.finish();
+}
+
+}  // namespace indexmac::kernels

@@ -1,0 +1,67 @@
+// Structured-sparse matrix-vector multiplication (y = A * x) using the
+// RVV gather (vluxei32) and reduction (vfredusum/vredsum) instructions.
+//
+// This extends the paper's SpMM focus to the other staple sparse kernel:
+// per row, the packed non-zero values are multiplied element-wise against
+// x elements gathered through precomputed byte offsets, then reduced to a
+// scalar. The N:M format's fixed slot count keeps the loop regular.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "asm/program.h"
+#include "kernels/kernels.h"
+#include "sparse/nm_matrix.h"
+
+namespace indexmac::kernels {
+
+/// Memory layout of one SpMV.
+struct SpmvLayout {
+  std::size_t rows = 0;
+  std::size_t k = 0;              ///< length of x
+  std::size_t slots_padded = 0;   ///< per-row slots, multiple of 16
+  std::uint64_t a_values = 0;
+  std::uint64_t a_offsets = 0;    ///< x element byte offsets
+  std::uint64_t x_base = 0;
+  std::uint64_t y_base = 0;
+};
+
+/// Packed per-row operand streams for the SpMV kernel.
+template <typename T>
+struct PackedSpmv {
+  std::size_t rows = 0;
+  std::size_t slots_padded = 0;
+  std::vector<T> values;
+  std::vector<std::int32_t> offsets;
+};
+
+/// Packs an N:M matrix for SpMV: slot offsets address x directly
+/// (global column * 4 bytes). Padding slots read x[0] with value zero.
+template <typename T>
+[[nodiscard]] PackedSpmv<T> pack_spmv(const sparse::NmMatrix<T>& a) {
+  PackedSpmv<T> out;
+  out.rows = a.rows();
+  out.slots_padded = round_up(a.slots_per_row(), isa::kVlMax);
+  out.values.assign(out.rows * out.slots_padded, T{});
+  out.offsets.assign(out.rows * out.slots_padded, 0);
+  const sparse::Sparsity sp = a.sparsity();
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t b = 0; b < a.blocks_per_row(); ++b)
+      for (unsigned s = 0; s < sp.n; ++s) {
+        const std::size_t slot = r * out.slots_padded + b * sp.n + s;
+        out.values[slot] = a.value_at(r, b, s);
+        out.offsets[slot] =
+            static_cast<std::int32_t>((b * sp.m + a.index_at(r, b, s)) * 4);
+      }
+  return out;
+}
+
+/// Computes the layout, reserving space via `alloc`.
+[[nodiscard]] SpmvLayout make_spmv_layout(std::size_t rows, std::size_t k,
+                                          std::size_t slots_padded, AddressAllocator& alloc);
+
+/// Emits the SpMV kernel (unroll 1; fp32 or int32 lanes).
+[[nodiscard]] Program emit_spmv_kernel(const SpmvLayout& layout, ElemType elem);
+
+}  // namespace indexmac::kernels

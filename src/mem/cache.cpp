@@ -1,0 +1,70 @@
+#include "mem/cache.h"
+
+namespace indexmac {
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  IMAC_CHECK(config.ways > 0, "cache must have at least one way");
+  IMAC_CHECK(is_pow2(config.line_bytes), "cache line size must be a power of two");
+  IMAC_CHECK(config.size_bytes % (static_cast<std::uint64_t>(config.ways) * config.line_bytes) == 0,
+             "cache size must divide evenly into sets");
+  num_sets_ = config.size_bytes / config.ways / config.line_bytes;
+  IMAC_CHECK(is_pow2(num_sets_), "number of sets must be a power of two");
+  lines_.resize(num_sets_ * config.ways);
+}
+
+CacheLineResult Cache::access(std::uint64_t addr, bool is_store) {
+  const std::uint64_t set = set_index(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Line* const begin = &lines_[set * config_.ways];
+  ++tick_;
+
+  for (unsigned w = 0; w < config_.ways; ++w) {
+    Line& line = begin[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = tick_;
+      line.dirty = line.dirty || is_store;
+      ++stats_.hits;
+      return CacheLineResult{.hit = true};
+    }
+  }
+  ++stats_.misses;
+
+  // Choose victim: an invalid way, else true LRU.
+  Line* victim = begin;
+  for (unsigned w = 0; w < config_.ways; ++w) {
+    Line& line = begin[w];
+    if (!line.valid) {
+      victim = &line;
+      break;
+    }
+    if (line.lru < victim->lru) victim = &line;
+  }
+
+  CacheLineResult result{};
+  if (victim->valid && victim->dirty) {
+    result.writeback = true;
+    result.victim_addr = (victim->tag * num_sets_ + set) * config_.line_bytes;
+    ++stats_.writebacks;
+  }
+  victim->valid = true;
+  victim->dirty = is_store;
+  victim->tag = tag;
+  victim->lru = tick_;
+  return result;
+}
+
+bool Cache::probe(std::uint64_t addr) const {
+  const std::uint64_t set = set_index(addr);
+  const std::uint64_t tag = tag_of(addr);
+  for (unsigned w = 0; w < config_.ways; ++w) {
+    const Line& line = lines_[set * config_.ways + w];
+    if (line.valid && line.tag == tag) return true;
+  }
+  return false;
+}
+
+void Cache::invalidate_all() {
+  for (Line& line : lines_) line = Line{};
+}
+
+}  // namespace indexmac

@@ -1,0 +1,97 @@
+#include "mem/main_memory.h"
+
+#include "common/bitutil.h"
+
+namespace indexmac {
+
+const MainMemory::Page* MainMemory::find_page(std::uint64_t addr) const {
+  const auto it = pages_.find(addr / kPageBytes);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+MainMemory::Page& MainMemory::page_for(std::uint64_t addr) {
+  Page& p = pages_[addr / kPageBytes];
+  if (p.empty()) p.resize(kPageBytes, 0);
+  return p;
+}
+
+std::uint8_t MainMemory::read_u8(std::uint64_t addr) const {
+  const Page* p = find_page(addr);
+  return p ? (*p)[addr % kPageBytes] : 0;
+}
+
+void MainMemory::write_u8(std::uint64_t addr, std::uint8_t v) {
+  page_for(addr)[addr % kPageBytes] = v;
+}
+
+std::uint32_t MainMemory::read_u32(std::uint64_t addr) const {
+  std::uint32_t v = 0;
+  for (unsigned i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(read_u8(addr + i)) << (8 * i);
+  return v;
+}
+
+std::uint64_t MainMemory::read_u64(std::uint64_t addr) const {
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(read_u8(addr + i)) << (8 * i);
+  return v;
+}
+
+float MainMemory::read_f32(std::uint64_t addr) const {
+  const std::uint32_t raw = read_u32(addr);
+  float out;
+  std::memcpy(&out, &raw, sizeof out);
+  return out;
+}
+
+void MainMemory::write_u32(std::uint64_t addr, std::uint32_t v) {
+  for (unsigned i = 0; i < 4; ++i) write_u8(addr + i, static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void MainMemory::write_u64(std::uint64_t addr, std::uint64_t v) {
+  for (unsigned i = 0; i < 8; ++i) write_u8(addr + i, static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void MainMemory::write_f32(std::uint64_t addr, float v) {
+  std::uint32_t raw;
+  std::memcpy(&raw, &v, sizeof raw);
+  write_u32(addr, raw);
+}
+
+void MainMemory::write_bytes(std::uint64_t addr, std::span<const std::uint8_t> data) {
+  for (std::size_t i = 0; i < data.size(); ++i) write_u8(addr + i, data[i]);
+}
+
+void MainMemory::read_bytes(std::uint64_t addr, std::span<std::uint8_t> out) const {
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = read_u8(addr + i);
+}
+
+void MainMemory::write_f32s(std::uint64_t addr, std::span<const float> data) {
+  for (std::size_t i = 0; i < data.size(); ++i) write_f32(addr + 4 * i, data[i]);
+}
+
+void MainMemory::write_i32s(std::uint64_t addr, std::span<const std::int32_t> data) {
+  for (std::size_t i = 0; i < data.size(); ++i)
+    write_u32(addr + 4 * i, static_cast<std::uint32_t>(data[i]));
+}
+
+std::vector<float> MainMemory::read_f32s(std::uint64_t addr, std::size_t count) const {
+  std::vector<float> out(count);
+  for (std::size_t i = 0; i < count; ++i) out[i] = read_f32(addr + 4 * i);
+  return out;
+}
+
+std::vector<std::int32_t> MainMemory::read_i32s(std::uint64_t addr, std::size_t count) const {
+  std::vector<std::int32_t> out(count);
+  for (std::size_t i = 0; i < count; ++i)
+    out[i] = static_cast<std::int32_t>(read_u32(addr + 4 * i));
+  return out;
+}
+
+std::uint64_t AddressAllocator::alloc(std::uint64_t bytes) {
+  IMAC_CHECK(bytes > 0, "cannot allocate zero bytes");
+  const std::uint64_t base = round_up(next_, align_);
+  next_ = base + bytes;
+  return base;
+}
+
+}  // namespace indexmac

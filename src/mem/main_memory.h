@@ -1,0 +1,71 @@
+// Functional (architectural) memory: a sparse, byte-addressable backing
+// store shared by the functional and timing simulators. Timing models
+// compute *when* an access completes; this class holds *what* the bytes are.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.h"
+
+namespace indexmac {
+
+/// Sparse page-granular memory. Reads of untouched memory return zeros.
+class MainMemory {
+ public:
+  static constexpr std::uint64_t kPageBytes = 4096;
+
+  [[nodiscard]] std::uint8_t read_u8(std::uint64_t addr) const;
+  [[nodiscard]] std::uint32_t read_u32(std::uint64_t addr) const;
+  [[nodiscard]] std::uint64_t read_u64(std::uint64_t addr) const;
+  [[nodiscard]] float read_f32(std::uint64_t addr) const;
+
+  void write_u8(std::uint64_t addr, std::uint8_t v);
+  void write_u32(std::uint64_t addr, std::uint32_t v);
+  void write_u64(std::uint64_t addr, std::uint64_t v);
+  void write_f32(std::uint64_t addr, float v);
+
+  /// Bulk copy into memory.
+  void write_bytes(std::uint64_t addr, std::span<const std::uint8_t> data);
+  /// Bulk copy out of memory.
+  void read_bytes(std::uint64_t addr, std::span<std::uint8_t> out) const;
+
+  /// Convenience for fp32/int32 arrays (the only element types used).
+  void write_f32s(std::uint64_t addr, std::span<const float> data);
+  void write_i32s(std::uint64_t addr, std::span<const std::int32_t> data);
+  [[nodiscard]] std::vector<float> read_f32s(std::uint64_t addr, std::size_t count) const;
+  [[nodiscard]] std::vector<std::int32_t> read_i32s(std::uint64_t addr, std::size_t count) const;
+
+  /// Number of pages currently materialized (for tests).
+  [[nodiscard]] std::size_t page_count() const { return pages_.size(); }
+
+ private:
+  using Page = std::vector<std::uint8_t>;
+
+  [[nodiscard]] const Page* find_page(std::uint64_t addr) const;
+  Page& page_for(std::uint64_t addr);
+
+  std::unordered_map<std::uint64_t, Page> pages_;
+};
+
+/// Bump allocator that hands out cache-line-aligned regions of the simulated
+/// address space for kernel operands.
+class AddressAllocator {
+ public:
+  explicit AddressAllocator(std::uint64_t start = 0x0010'0000, std::uint64_t align = 64)
+      : next_(start), align_(align) {}
+
+  /// Reserves `bytes` and returns the base address.
+  [[nodiscard]] std::uint64_t alloc(std::uint64_t bytes);
+
+  [[nodiscard]] std::uint64_t high_water() const { return next_; }
+
+ private:
+  std::uint64_t next_;
+  std::uint64_t align_;
+};
+
+}  // namespace indexmac

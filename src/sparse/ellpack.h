@@ -1,0 +1,139 @@
+// ELLPACK storage for *unstructured* sparsity: every row keeps max-nnz
+// (value, column) slots, zero-padded. This is the classic vector-machine
+// sparse format and serves as the unstructured baseline the paper's
+// introduction argues against: without the N:M bound on column indexes,
+// B rows cannot be preloaded into the vector register file, so every
+// non-zero pays a memory load (see kernels::emit_ellpack_kernel).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/bitutil.h"
+#include "common/error.h"
+#include "sparse/dense_matrix.h"
+
+namespace indexmac::sparse {
+
+/// Unstructured sparse matrix, row-padded to a uniform slot count.
+template <typename T>
+class EllpackMatrix {
+ public:
+  /// Builds from any dense matrix; slots = max non-zeros over all rows.
+  static EllpackMatrix from_dense(const DenseMatrix<T>& dense) {
+    std::size_t max_nnz = 1;  // at least one slot so the kernel has work
+    for (std::size_t r = 0; r < dense.rows(); ++r) {
+      std::size_t nnz = 0;
+      for (std::size_t c = 0; c < dense.cols(); ++c)
+        if (dense.at(r, c) != T{}) ++nnz;
+      max_nnz = std::max(max_nnz, nnz);
+    }
+    EllpackMatrix out(dense.rows(), dense.cols(), max_nnz);
+    for (std::size_t r = 0; r < dense.rows(); ++r) {
+      std::size_t slot = 0;
+      for (std::size_t c = 0; c < dense.cols(); ++c) {
+        if (dense.at(r, c) == T{}) continue;
+        out.values_[r * max_nnz + slot] = dense.at(r, c);
+        out.columns_[r * max_nnz + slot] = static_cast<std::uint32_t>(c);
+        ++slot;
+      }
+      // Padding slots keep column 0 with zero values: harmless to apply.
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t slots_per_row() const { return slots_; }
+
+  [[nodiscard]] T value_at(std::size_t r, std::size_t slot) const {
+    return values_[index(r, slot)];
+  }
+  [[nodiscard]] std::uint32_t column_at(std::size_t r, std::size_t slot) const {
+    return columns_[index(r, slot)];
+  }
+
+  [[nodiscard]] DenseMatrix<T> to_dense() const {
+    DenseMatrix<T> out(rows_, cols_);
+    for (std::size_t r = 0; r < rows_; ++r)
+      for (std::size_t s = 0; s < slots_; ++s) {
+        const T v = values_[index(r, s)];
+        if (v != T{}) out.at(r, columns_[index(r, s)]) += v;
+      }
+    return out;
+  }
+
+  /// Fraction of slots that are padding (ELLPACK inefficiency measure).
+  [[nodiscard]] double padding_fraction() const {
+    std::size_t padded = 0;
+    for (const T& v : values_)
+      if (v == T{}) ++padded;
+    return static_cast<double>(padded) / static_cast<double>(values_.size());
+  }
+
+ private:
+  EllpackMatrix(std::size_t rows, std::size_t cols, std::size_t slots)
+      : rows_(rows), cols_(cols), slots_(slots),
+        values_(rows * slots, T{}),
+        columns_(rows * slots, 0) {}
+
+  [[nodiscard]] std::size_t index(std::size_t r, std::size_t slot) const {
+    IMAC_CHECK(r < rows_ && slot < slots_, "EllpackMatrix index out of range");
+    return r * slots_ + slot;
+  }
+
+  std::size_t rows_;
+  std::size_t cols_;
+  std::size_t slots_;
+  std::vector<T> values_;
+  std::vector<std::uint32_t> columns_;
+};
+
+/// Unstructured magnitude pruning: keeps the `keep` largest-|value|
+/// elements of each row (row-balanced, the ELLPACK-friendly variant).
+template <typename T>
+[[nodiscard]] DenseMatrix<T> prune_unstructured(const DenseMatrix<T>& dense, std::size_t keep) {
+  DenseMatrix<T> out(dense.rows(), dense.cols());
+  std::vector<std::size_t> order(dense.cols());
+  for (std::size_t r = 0; r < dense.rows(); ++r) {
+    for (std::size_t c = 0; c < dense.cols(); ++c) order[c] = c;
+    std::partial_sort(order.begin(), order.begin() + std::min(keep, dense.cols()), order.end(),
+                      [&](std::size_t a, std::size_t b) {
+                        return std::abs(dense.at(r, a)) > std::abs(dense.at(r, b));
+                      });
+    for (std::size_t i = 0; i < std::min(keep, dense.cols()); ++i)
+      out.at(r, order[i]) = dense.at(r, order[i]);
+  }
+  return out;
+}
+
+/// Flat operand streams for the ELLPACK kernel: values (row-major, padded
+/// slot count rounded up to the vector length) and B-row *byte offsets*.
+template <typename T>
+struct PackedEllpack {
+  std::size_t rows = 0;
+  std::size_t slots_padded = 0;  ///< multiple of kVlMax
+  std::vector<T> values;
+  std::vector<std::int32_t> offsets;  ///< column * b_pitch_bytes
+};
+
+template <typename T>
+[[nodiscard]] PackedEllpack<T> pack_ellpack(const EllpackMatrix<T>& m,
+                                            std::uint32_t b_pitch_bytes, unsigned pad_to) {
+  IMAC_CHECK(b_pitch_bytes > 0, "packing requires the B row pitch");
+  PackedEllpack<T> out;
+  out.rows = m.rows();
+  out.slots_padded = round_up(m.slots_per_row(), pad_to);
+  out.values.assign(out.rows * out.slots_padded, T{});
+  out.offsets.assign(out.rows * out.slots_padded, 0);
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t s = 0; s < m.slots_per_row(); ++s) {
+      out.values[r * out.slots_padded + s] = m.value_at(r, s);
+      out.offsets[r * out.slots_padded + s] =
+          static_cast<std::int32_t>(m.column_at(r, s) * b_pitch_bytes);
+    }
+  return out;
+}
+
+}  // namespace indexmac::sparse

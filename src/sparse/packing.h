@@ -1,0 +1,142 @@
+// Operand packing: turns an NmMatrix into the flat, k-tiled value/index
+// streams the vectorized kernels consume, and dense matrices into padded
+// row-major images for the simulated address space.
+//
+// Index stream variants (Section II/III of the paper):
+//  * kByteOffset — for Algorithm 2 ("Row-Wise-SpMM"): each slot holds the
+//    byte offset of its B row (global row * row pitch). The kernel adds the
+//    strip base address with one vadd.vx (paper Alg. 2, line 5) and then
+//    uses the element directly as a load address.
+//  * kVrfIndex — for Algorithm 3 (vindexmac): each slot holds the vector
+//    register number that holds its B row once the L-row tile is preloaded
+//    (base_vreg + row-within-tile). Structured sparsity bounds the in-block
+//    index by M, which is what makes this precomputation possible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/nm_matrix.h"
+
+namespace indexmac::sparse {
+
+enum class IndexMode { kByteOffset, kVrfIndex };
+
+/// Parameters shared by the packer and the kernel generators.
+struct PackConfig {
+  unsigned tile_rows = 16;       ///< L: B-tile rows held in the VRF (multiple of M)
+  IndexMode mode = IndexMode::kVrfIndex;
+  std::uint32_t b_pitch_bytes = 0;  ///< B row pitch (kByteOffset mode)
+  unsigned base_vreg = 16;          ///< first B-tile vector register (kVrfIndex mode)
+};
+
+/// Flat k-tiled operand streams for one structured-sparse A matrix.
+template <typename T>
+struct PackedA {
+  Sparsity sp;
+  std::size_t rows = 0;
+  std::size_t k_padded = 0;      ///< k padded to a multiple of tile_rows
+  unsigned tile_rows = 0;        ///< L
+  std::size_t num_ktiles = 0;
+  unsigned slots_per_tile = 0;   ///< non-zero slots per (row, ktile) = N * L / M
+  IndexMode mode = IndexMode::kVrfIndex;
+  /// values[(t * rows + r) * slots_per_tile + s]
+  std::vector<T> values;
+  std::vector<std::int32_t> indices;
+
+  [[nodiscard]] std::size_t slot_offset(std::size_t ktile, std::size_t row) const {
+    IMAC_CHECK(ktile < num_ktiles && row < rows, "PackedA index out of range");
+    return (ktile * rows + row) * slots_per_tile;
+  }
+};
+
+template <typename T>
+[[nodiscard]] PackedA<T> pack_a(const NmMatrix<T>& a, const PackConfig& config) {
+  const Sparsity sp = a.sparsity();
+  IMAC_CHECK(config.tile_rows % sp.m == 0, "tile_rows (L) must be a multiple of M");
+  IMAC_CHECK(config.mode != IndexMode::kByteOffset || config.b_pitch_bytes > 0,
+             "byte-offset packing requires the B row pitch");
+
+  PackedA<T> out;
+  out.sp = sp;
+  out.rows = a.rows();
+  out.tile_rows = config.tile_rows;
+  out.k_padded = round_up(a.padded_cols(), config.tile_rows);
+  out.num_ktiles = out.k_padded / config.tile_rows;
+  const unsigned blocks_per_tile = config.tile_rows / sp.m;
+  out.slots_per_tile = blocks_per_tile * sp.n;
+  out.mode = config.mode;
+  out.values.assign(out.num_ktiles * out.rows * out.slots_per_tile, T{});
+  out.indices.assign(out.values.size(), 0);
+
+  for (std::size_t t = 0; t < out.num_ktiles; ++t)
+    for (std::size_t r = 0; r < out.rows; ++r) {
+      const std::size_t base = out.slot_offset(t, r);
+      for (unsigned bt = 0; bt < blocks_per_tile; ++bt) {
+        const std::size_t block = t * blocks_per_tile + bt;
+        for (unsigned s = 0; s < sp.n; ++s) {
+          const std::size_t slot = base + bt * sp.n + s;
+          std::uint32_t local = sp.m - 1;  // padding default (zero value)
+          if (block < a.blocks_per_row()) {
+            out.values[slot] = a.value_at(r, block, s);
+            local = a.index_at(r, block, s);
+          }
+          const std::uint32_t row_in_tile = bt * sp.m + local;
+          if (config.mode == IndexMode::kVrfIndex) {
+            out.indices[slot] = static_cast<std::int32_t>(config.base_vreg + row_in_tile);
+          } else {
+            const std::uint64_t global_row = t * config.tile_rows + row_in_tile;
+            out.indices[slot] =
+                static_cast<std::int32_t>(global_row * config.b_pitch_bytes);
+          }
+        }
+      }
+    }
+  return out;
+}
+
+/// Lays out `m` row-major with `pitch_elems` elements per row (>= cols) and
+/// `total_rows` rows (>= rows; extra rows zero-filled). Used to place B with
+/// 64-byte-aligned rows and k padded to the tile size.
+template <typename T>
+[[nodiscard]] std::vector<T> to_padded_rows(const DenseMatrix<T>& m, std::size_t pitch_elems,
+                                            std::size_t total_rows) {
+  IMAC_CHECK(pitch_elems >= m.cols(), "pitch must cover all columns");
+  IMAC_CHECK(total_rows >= m.rows(), "row padding cannot shrink the matrix");
+  std::vector<T> out(total_rows * pitch_elems, T{});
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c) out[r * pitch_elems + c] = m.at(r, c);
+  return out;
+}
+
+/// Host-side model of Algorithm 3's arithmetic on packed operands: applies
+/// every (value, index) slot against the B image exactly as the kernel
+/// would. Validates packing independent of the ISA pipeline.
+template <typename T>
+[[nodiscard]] DenseMatrix<T> packed_spmm_reference(const PackedA<T>& a,
+                                                   const std::vector<T>& b_image,
+                                                   std::size_t b_pitch_elems,
+                                                   std::size_t b_cols,
+                                                   unsigned base_vreg = 16) {
+  DenseMatrix<T> c(a.rows, b_cols);
+  const unsigned l = a.tile_rows;
+  for (std::size_t t = 0; t < a.num_ktiles; ++t)
+    for (std::size_t r = 0; r < a.rows; ++r) {
+      const std::size_t base = a.slot_offset(t, r);
+      for (unsigned s = 0; s < a.slots_per_tile; ++s) {
+        const T value = a.values[base + s];
+        if (value == T{}) continue;
+        std::size_t row;
+        if (a.mode == IndexMode::kVrfIndex) {
+          row = t * l + (static_cast<std::uint32_t>(a.indices[base + s]) - base_vreg);
+        } else {
+          row = static_cast<std::uint32_t>(a.indices[base + s]) / (b_pitch_elems * sizeof(T));
+        }
+        for (std::size_t j = 0; j < b_cols; ++j)
+          c.at(r, j) += value * b_image[row * b_pitch_elems + j];
+      }
+    }
+  return c;
+}
+
+}  // namespace indexmac::sparse

@@ -1,0 +1,84 @@
+// Small helper resources for the timestamp-dataflow timing model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+
+namespace indexmac::timing {
+
+/// Schedules use of a W-ports-per-cycle resource (fetch, issue, commit).
+/// Requests may arrive in any cycle order; bookkeeping uses a bounded
+/// sliding window of recent cycles (requests older than the window are
+/// clamped forward, a negligible approximation for well-formed pipelines).
+class PortScheduler {
+ public:
+  explicit PortScheduler(unsigned width, std::size_t window = 4096)
+      : width_(width), used_(window, 0) {
+    IMAC_CHECK(width >= 1, "port width must be positive");
+  }
+
+  /// Returns the first cycle >= earliest with a free port and claims it.
+  std::uint64_t claim(std::uint64_t earliest) {
+    if (earliest < base_) earliest = base_;
+    advance_window(earliest);
+    std::uint64_t cycle = earliest;
+    while (true) {
+      advance_window(cycle);
+      std::uint8_t& used = used_[cycle % used_.size()];
+      if (used < width_) {
+        ++used;
+        return cycle;
+      }
+      ++cycle;
+    }
+  }
+
+ private:
+  void advance_window(std::uint64_t cycle) {
+    // Slide the window forward so `cycle` is representable.
+    const std::uint64_t window = used_.size();
+    if (cycle < base_ + window) return;
+    const std::uint64_t new_base = cycle - window / 2;
+    for (std::uint64_t c = base_; c < new_base && c < base_ + window; ++c)
+      used_[c % window] = 0;
+    base_ = new_base;
+  }
+
+  unsigned width_;
+  std::vector<std::uint8_t> used_;
+  std::uint64_t base_ = 0;
+};
+
+/// A pool of N slots each held until a completion time (ROB, LSQ, queues).
+/// Allocation is in program order (ring), which matches how these
+/// structures fill and drain.
+class SlotPool {
+ public:
+  explicit SlotPool(unsigned entries) : free_at_(entries, 0) {
+    IMAC_CHECK(entries >= 1, "slot pool must have at least one entry");
+  }
+
+  /// Earliest cycle (>= earliest) at which the next slot is available.
+  [[nodiscard]] std::uint64_t available(std::uint64_t earliest) const {
+    return std::max(earliest, free_at_[next_]);
+  }
+
+  /// Claims the next slot, holding it until `release_cycle`.
+  void claim(std::uint64_t release_cycle) {
+    free_at_[next_] = release_cycle;
+    next_ = (next_ + 1) % free_at_.size();
+  }
+
+  void reset() {
+    std::fill(free_at_.begin(), free_at_.end(), 0);
+    next_ = 0;
+  }
+
+ private:
+  std::vector<std::uint64_t> free_at_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace indexmac::timing

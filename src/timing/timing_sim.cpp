@@ -1,0 +1,397 @@
+#include "timing/timing_sim.h"
+
+#include <array>
+
+#include "common/bitutil.h"
+#include "common/error.h"
+#include "fsim/machine.h"
+#include "timing/port_scheduler.h"
+#include "timing/trace.h"
+
+namespace indexmac::timing {
+namespace {
+
+using isa::Op;
+
+/// Fixed front-end depth between a fetch slot and rename/dispatch.
+constexpr std::uint64_t kFrontendDepth = 4;
+
+/// Recent scalar stores for store-to-load forwarding / disambiguation.
+struct PendingStore {
+  std::uint64_t addr = 0;
+  std::uint32_t bytes = 0;
+  std::uint64_t data_ready = 0;
+};
+
+class Model {
+ public:
+  Model(const Program& program, MainMemory& memory, const ProcessorConfig& config,
+        TimingStats& stats, std::vector<MarkerEvent>& markers)
+      : config_(config),
+        machine_(program, memory),
+        trace_(machine_),
+        mem_(config.memory),
+        fetch_ports_(config.scalar.fetch_width),
+        issue_ports_(config.scalar.issue_width),
+        commit_ports_(config.scalar.commit_width),
+        rob_(config.scalar.rob_entries),
+        lsq_(config.scalar.lsq_entries),
+        viq_(config.vector.queue_entries),
+        vlq_(config.vector.load_queues),
+        vsq_(config.vector.store_queues),
+        stats_(stats),
+        markers_(markers) {
+    x_ready_.fill(0);
+    f_ready_.fill(0);
+    v_ready_.fill(0);
+  }
+
+  void run(std::uint64_t max_instructions) {
+    for (std::uint64_t n = 0; n < max_instructions; ++n) {
+      const auto dyn = trace_.next();
+      if (!dyn) {
+        raise("timing: trace ended without a halt instruction");
+      }
+      process(*dyn);
+      if (dyn->is_halt) {
+        stats_.instructions = n + 1;
+        stats_.mem = mem_.stats();
+        return;
+      }
+    }
+    raise("timing: instruction budget exhausted (runaway program?)");
+  }
+
+ private:
+  // ---- helpers ----
+
+  std::uint64_t xr(unsigned r) const { return r == 0 ? 0 : x_ready_[r]; }
+
+  void set_x(unsigned r, std::uint64_t cycle) {
+    if (r != 0) x_ready_[r] = cycle;
+  }
+
+  std::uint64_t scalar_srcs(const DynInst& d) const {
+    std::uint64_t ready = 0;
+    if (isa::reads_x_rs1(d.inst)) ready = std::max(ready, xr(d.inst.rs1));
+    if (isa::reads_x_rs2(d.inst)) ready = std::max(ready, xr(d.inst.rs2));
+    if (isa::reads_f_rs1(d.inst)) ready = std::max(ready, f_ready_[d.inst.rs1]);
+    if (d.inst.op == Op::kFsw) ready = std::max(ready, f_ready_[d.inst.rs2]);
+    return ready;
+  }
+
+  /// Store-to-load forwarding: completion if an older in-flight store
+  /// overlaps this load.
+  std::uint64_t forward_from_stores(std::uint64_t addr, std::uint32_t bytes,
+                                    std::uint64_t issue) const {
+    std::uint64_t ready = 0;
+    for (const PendingStore& s : store_ring_) {
+      if (s.bytes == 0) continue;
+      const bool overlap = addr < s.addr + s.bytes && s.addr < addr + bytes;
+      if (overlap) ready = std::max(ready, std::max(issue, s.data_ready) + 1);
+    }
+    return ready;
+  }
+
+  // ---- per-instruction model ----
+
+  void process(const DynInst& d) {
+    const Op op = d.inst.op;
+
+    // Front end: fetch slot (stalled after a mispredict), fixed depth to
+    // dispatch, ROB entry must be free.
+    const std::uint64_t fetch = fetch_ports_.claim(fetch_blocked_until_);
+    std::uint64_t disp = rob_.available(fetch + kFrontendDepth);
+
+    std::uint64_t ready = 0;          // ROB-completion cycle
+    bool is_store_commit = false;     // scalar stores write at commit
+
+    if (isa::is_vector(op)) {
+      ready = process_vector(d, disp);
+      ++stats_.vector_instructions;
+    } else {
+      ready = process_scalar(d, disp, is_store_commit);
+      ++stats_.scalar_instructions;
+    }
+
+    // In-order commit.
+    const std::uint64_t commit = commit_ports_.claim(std::max(ready, last_commit_));
+    last_commit_ = commit;
+    rob_.claim(commit + 1);
+
+    if (is_store_commit) {
+      (void)mem_.scalar_data(d.mem_addr, d.mem_bytes, /*is_store=*/true, commit + 1);
+      lsq_.claim(commit + 1);
+      store_ring_[store_ring_next_] = PendingStore{d.mem_addr, d.mem_bytes, ready};
+      store_ring_next_ = (store_ring_next_ + 1) % store_ring_.size();
+    }
+
+    if (d.marker_id >= 0)
+      markers_.push_back(MarkerEvent{d.marker_id, commit, committed_ + 1, mem_.stats()});
+    ++committed_;
+    stats_.cycles = commit;
+  }
+
+  std::uint64_t process_scalar(const DynInst& d, std::uint64_t disp, bool& is_store_commit) {
+    const Op op = d.inst.op;
+    const std::uint64_t srcs = scalar_srcs(d);
+
+    if (isa::is_scalar_load(op)) {
+      const std::uint64_t avail = lsq_.available(disp);
+      const std::uint64_t issue = issue_ports_.claim(std::max(avail, srcs));
+      std::uint64_t done = forward_from_stores(d.mem_addr, d.mem_bytes, issue);
+      if (done == 0) done = mem_.scalar_data(d.mem_addr, d.mem_bytes, false, issue + 1);
+      lsq_.claim(done);
+      if (op == Op::kFlw)
+        f_ready_[d.inst.rd] = done;
+      else
+        set_x(d.inst.rd, done);
+      return done;
+    }
+
+    if (isa::is_scalar_store(op)) {
+      const std::uint64_t avail = lsq_.available(disp);
+      const std::uint64_t issue = issue_ports_.claim(std::max(avail, srcs));
+      is_store_commit = true;  // LSQ entry + write handled at commit
+      return issue + 1;
+    }
+
+    if (isa::is_branch(op) || isa::is_jump(op)) {
+      const std::uint64_t issue = issue_ports_.claim(std::max(disp, srcs));
+      const std::uint64_t resolve = issue + config_.scalar.alu_latency;
+      // Static BTFNT predictor for conditional branches; direct jumps and
+      // returns are assumed predicted (decode target / return stack).
+      if (isa::is_branch(op)) {
+        const bool predicted_taken = d.inst.imm < 0;
+        if (predicted_taken != d.branch_taken) {
+          ++stats_.branch_mispredicts;
+          fetch_blocked_until_ =
+              std::max(fetch_blocked_until_, resolve + config_.scalar.mispredict_penalty);
+        }
+      }
+      last_branch_resolve_ = std::max(last_branch_resolve_, resolve);
+      if (isa::is_jump(op)) set_x(d.inst.rd, resolve);
+      return resolve;
+    }
+
+    if (op == Op::kEbreak || op == Op::kEcall || op == Op::kMarker) {
+      // Architectural no-ops: occupy a dispatch slot, complete immediately.
+      return disp;
+    }
+
+    // Plain ALU work (incl. vsetvli, which computes vl on the scalar side).
+    const std::uint64_t issue = issue_ports_.claim(std::max(disp, srcs));
+    const unsigned latency =
+        op == Op::kMul ? config_.scalar.mul_latency : config_.scalar.alu_latency;
+    const std::uint64_t done = issue + latency;
+    set_x(d.inst.rd, done);
+    if (op == Op::kVsetvli) last_vsetvli_done_ = done;
+    return done;
+  }
+
+  std::uint64_t process_vector(const DynInst& d, std::uint64_t disp) {
+    const Op op = d.inst.op;
+    const VectorEngineConfig& vc = config_.vector;
+
+    // Dispatch to the engine: in program order, squash-free (all older
+    // branches resolved), scalar operands and the governing vl available,
+    // and a vector-queue slot free. One vector instruction per cycle.
+    // Attribute the wait to its binding constraint for the stall breakdown.
+    const std::uint64_t operand_ready = std::max(scalar_srcs(d), last_vsetvli_done_);
+    std::uint64_t send =
+        std::max({disp, operand_ready, last_branch_resolve_, last_vector_send_ + 1});
+    const std::uint64_t queue_ready = viq_.available(send);
+    if (send > disp) {
+      VectorDispatchStalls& st = stats_.dispatch_stalls;
+      if (send == operand_ready && operand_ready > disp)
+        st.scalar_operand += send - disp;
+      else if (send == last_branch_resolve_ && last_branch_resolve_ > disp)
+        st.branch_shadow += send - disp;
+      else
+        st.bandwidth += send - disp;
+    }
+    stats_.dispatch_stalls.queue_full += queue_ready - send;
+    send = queue_ready;
+    last_vector_send_ = send;
+
+    // Engine-side in-order issue with register-granular scoreboarding.
+    std::uint64_t deps = 0;
+    auto need = [&](unsigned vreg) { deps = std::max(deps, v_ready_[vreg]); };
+    switch (op) {
+      case Op::kVle32:
+        break;  // writes vd only
+      case Op::kVse32:
+        need(d.inst.rd);  // vs3 lives in the rd slot
+        break;
+      case Op::kVaddVx:
+      case Op::kVaddVi:
+      case Op::kVslidedownVx:
+      case Op::kVslidedownVi:
+      case Op::kVslide1downVx:
+      case Op::kVluxei32:
+        need(d.inst.rs2);
+        break;
+      case Op::kVaddVV:
+      case Op::kVfaddVV:
+      case Op::kVmulVV:
+      case Op::kVfmulVV:
+      case Op::kVredsumVS:
+      case Op::kVfredusumVS:
+        need(d.inst.rs1);
+        need(d.inst.rs2);
+        break;
+      case Op::kVmaccVx:
+      case Op::kVfmaccVf:
+        need(d.inst.rd);
+        need(d.inst.rs2);
+        break;
+      case Op::kVindexmacVx:
+      case Op::kVfindexmacVx:
+        need(d.inst.rd);
+        need(d.inst.rs2);
+        need(d.indirect_vreg);  // the indirect VRF read
+        break;
+      case Op::kVmvXS:
+      case Op::kVfmvFS:
+        need(d.inst.rs2);
+        break;
+      case Op::kVmvVX:
+      case Op::kVmvVI:
+        break;
+      case Op::kVmvSX:
+        need(d.inst.rd);  // merges into vd[0]
+        break;
+      default:
+        raise("timing: unhandled vector op");
+    }
+
+    const std::uint64_t occupancy =
+        std::max<std::uint64_t>(1, ceil_div(std::max<std::uint32_t>(d.vl, 1), vc.lanes));
+    std::uint64_t e_issue = std::max({send + vc.dispatch_latency, engine_next_issue_, deps});
+
+    std::uint64_t ready_for_rob = send;  // most vector ops complete at send
+
+    if (op == Op::kVluxei32) {
+      // Gather: one element access per address, a few addresses per cycle.
+      e_issue = std::max(e_issue, vlq_.available(e_issue));
+      std::uint64_t done = e_issue + 1;
+      for (std::size_t i = 0; i < d.gather_addrs.size(); ++i) {
+        const std::uint64_t start = e_issue + 1 + i / vc.gather_lanes;
+        done = std::max(done, mem_.vector_data(d.gather_addrs[i], 4, false, start));
+      }
+      vlq_.claim(done);
+      v_ready_[d.inst.rd] = done;
+      ++stats_.vector_loads;
+      engine_next_issue_ =
+          e_issue + std::max<std::uint64_t>(1, ceil_div(std::max<std::uint32_t>(d.vl, 1),
+                                                        vc.gather_lanes));
+      viq_.claim(e_issue);
+      return ready_for_rob;
+    }
+    if (op == Op::kVle32) {
+      e_issue = std::max(e_issue, vlq_.available(e_issue));
+      const std::uint64_t done =
+          d.mem_bytes == 0 ? e_issue + 1
+                           : mem_.vector_data(d.mem_addr, d.mem_bytes, false, e_issue + 1);
+      vlq_.claim(done);
+      v_ready_[d.inst.rd] = done;
+      ++stats_.vector_loads;
+    } else if (op == Op::kVse32) {
+      e_issue = std::max(e_issue, vsq_.available(e_issue));
+      const std::uint64_t done =
+          d.mem_bytes == 0 ? e_issue + 1
+                           : mem_.vector_data(d.mem_addr, d.mem_bytes, true, e_issue + 1);
+      vsq_.claim(done);
+      ++stats_.vector_stores;
+    } else if (op == Op::kVmvXS || op == Op::kVfmvFS) {
+      const std::uint64_t returned = e_issue + vc.move_latency + vc.to_scalar_latency;
+      if (op == Op::kVmvXS)
+        set_x(d.inst.rd, returned);
+      else
+        f_ready_[d.inst.rd] = returned;
+      ready_for_rob = returned;  // commits only once the value is back
+      ++stats_.vector_to_scalar_moves;
+    } else {
+      unsigned latency = vc.alu_latency;
+      switch (op) {
+        case Op::kVmaccVx:
+        case Op::kVfmaccVf:
+        case Op::kVindexmacVx:
+        case Op::kVfindexmacVx:
+          latency = vc.mac_latency;
+          ++stats_.vector_macs;
+          break;
+        case Op::kVslidedownVx:
+        case Op::kVslidedownVi:
+        case Op::kVslide1downVx:
+          latency = vc.slide_latency;
+          break;
+        case Op::kVmvVX:
+        case Op::kVmvVI:
+        case Op::kVmvSX:
+          latency = vc.move_latency;
+          break;
+        case Op::kVmulVV:
+        case Op::kVfmulVV:
+          latency = vc.mac_latency;
+          break;
+        case Op::kVredsumVS:
+        case Op::kVfredusumVS:
+          latency = vc.reduction_latency;
+          break;
+        default:
+          break;
+      }
+      v_ready_[d.inst.rd] = e_issue + latency;
+    }
+
+    engine_next_issue_ = e_issue + occupancy;
+    viq_.claim(e_issue);  // the queue slot frees when the engine issues
+    return ready_for_rob;
+  }
+
+  ProcessorConfig config_;
+  Machine machine_;
+  TraceSource trace_;
+  MemorySystem mem_;
+  PortScheduler fetch_ports_;
+  PortScheduler issue_ports_;
+  PortScheduler commit_ports_;
+  SlotPool rob_;
+  SlotPool lsq_;
+  SlotPool viq_;
+  SlotPool vlq_;
+  SlotPool vsq_;
+
+  std::array<std::uint64_t, isa::kNumXRegs> x_ready_{};
+  std::array<std::uint64_t, isa::kNumFRegs> f_ready_{};
+  std::array<std::uint64_t, isa::kNumVRegs> v_ready_{};
+  std::array<PendingStore, 16> store_ring_{};
+  std::size_t store_ring_next_ = 0;
+
+  std::uint64_t fetch_blocked_until_ = 0;
+  std::uint64_t last_commit_ = 0;
+  std::uint64_t last_branch_resolve_ = 0;
+  std::uint64_t last_vector_send_ = 0;
+  std::uint64_t last_vsetvli_done_ = 0;
+  std::uint64_t engine_next_issue_ = 0;
+  std::uint64_t committed_ = 0;
+
+  TimingStats& stats_;
+  std::vector<MarkerEvent>& markers_;
+};
+
+}  // namespace
+
+TimingSim::TimingSim(const Program& program, MainMemory& memory, const ProcessorConfig& config)
+    : program_(program), memory_(memory), config_(config) {}
+
+const TimingStats& TimingSim::run(std::uint64_t max_instructions) {
+  IMAC_CHECK(!ran_, "TimingSim::run may only be called once per instance");
+  ran_ = true;
+  Model model(program_, memory_, config_, stats_, markers_);
+  model.run(max_instructions);
+  return stats_;
+}
+
+}  // namespace indexmac::timing

@@ -1,0 +1,79 @@
+// Dynamic instruction trace: the timing model is trace-driven off the
+// functional simulator, which supplies the correct execution path, memory
+// addresses, vector lengths and resolved vindexmac register indices.
+// Wrong-path (mis-speculated) instructions are not simulated; the branch
+// mispredict penalty models the front-end refill (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fsim/machine.h"
+#include "isa/isa.h"
+
+namespace indexmac::timing {
+
+/// One dynamic (executed) instruction with everything timing needs.
+struct DynInst {
+  isa::Instruction inst;
+  std::uint64_t pc = 0;
+  bool branch_taken = false;        ///< branches/jumps: control transferred
+  std::uint64_t mem_addr = 0;       ///< loads/stores: effective address
+  std::uint32_t mem_bytes = 0;      ///< loads/stores: access size
+  std::uint32_t vl = 0;             ///< vector length governing this op
+  std::uint8_t indirect_vreg = 0;   ///< vindexmac: resolved VRF source
+  std::vector<std::uint64_t> gather_addrs;  ///< vluxei32: per-element addresses
+  std::int32_t marker_id = -1;      ///< markers: id, else -1
+  bool is_halt = false;             ///< ebreak/ecall
+};
+
+/// Pulls dynamic instructions from a functional Machine, one per step.
+class TraceSource {
+ public:
+  explicit TraceSource(Machine& machine) : machine_(machine) {}
+
+  /// Returns the next executed instruction, or nullopt after the halt
+  /// instruction has been delivered (the halt itself is delivered with
+  /// is_halt=true).
+  std::optional<DynInst> next() {
+    if (done_) return std::nullopt;
+    const ArchState& pre = machine_.state();
+    const std::uint64_t pc = pre.pc;
+    DynInst out;
+    out.inst = machine_.program().at(pc);
+    out.pc = pc;
+    out.vl = pre.vl;
+    const isa::Instruction& in = out.inst;
+    using isa::Op;
+    if (in.op == Op::kVluxei32) {
+      const std::uint64_t base = pre.x[in.rs1];
+      out.gather_addrs.reserve(pre.vl);
+      for (unsigned i = 0; i < pre.vl; ++i)
+        out.gather_addrs.push_back(base + pre.v[in.rs2][i]);
+      out.mem_bytes = pre.vl * 4;
+    } else if (isa::is_scalar_load(in.op) || isa::is_scalar_store(in.op)) {
+      out.mem_addr = pre.x[in.rs1] + static_cast<std::int64_t>(in.imm);
+      out.mem_bytes = (in.op == Op::kLd || in.op == Op::kSd) ? 8 : 4;
+    } else if (isa::is_vector_load(in.op) || isa::is_vector_store(in.op)) {
+      out.mem_addr = pre.x[in.rs1];
+      out.mem_bytes = pre.vl * 4;
+    } else if (in.op == Op::kVindexmacVx || in.op == Op::kVfindexmacVx) {
+      out.indirect_vreg = static_cast<std::uint8_t>(pre.x[in.rs1] & 0x1f);
+    } else if (in.op == Op::kMarker) {
+      out.marker_id = in.imm;
+    }
+    const StopReason stop = machine_.step();
+    out.branch_taken = (isa::is_branch(in.op) || isa::is_jump(in.op)) &&
+                       machine_.state().pc != pc + 4;
+    out.is_halt = stop == StopReason::kEbreak || stop == StopReason::kEcall;
+    done_ = out.is_halt;
+    return out;
+  }
+
+ private:
+  Machine& machine_;
+  bool done_ = false;
+};
+
+}  // namespace indexmac::timing

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "asm/assembler.h"
+#include "asm/program.h"
+#include "common/error.h"
+#include "isa/isa.h"
+
+namespace indexmac {
+namespace {
+
+using isa::Op;
+
+TEST(Assembler, EmitsInstructionsInOrder) {
+  Assembler a;
+  a.addi(x(1), x(0), 5);
+  a.add(x(2), x(1), x(1));
+  a.ebreak();
+  Program p = a.finish(0x1000);
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.decoded()[0].op, Op::kAddi);
+  EXPECT_EQ(p.decoded()[1].op, Op::kAdd);
+  EXPECT_EQ(p.decoded()[2].op, Op::kEbreak);
+  EXPECT_EQ(p.base(), 0x1000u);
+}
+
+TEST(Assembler, BackwardBranchOffset) {
+  Assembler a;
+  auto loop = a.new_label();
+  a.bind(loop);
+  a.addi(x(1), x(1), -1);
+  a.bne(x(1), x(0), loop);
+  Program p = a.finish();
+  EXPECT_EQ(p.decoded()[1].imm, -4);
+}
+
+TEST(Assembler, ForwardBranchOffset) {
+  Assembler a;
+  auto done = a.new_label();
+  a.beq(x(1), x(0), done);
+  a.nop();
+  a.nop();
+  a.bind(done);
+  a.ebreak();
+  Program p = a.finish();
+  EXPECT_EQ(p.decoded()[0].imm, 12);
+}
+
+TEST(Assembler, JumpToLabel) {
+  Assembler a;
+  auto target = a.new_label();
+  a.j(target);
+  a.nop();
+  a.bind(target);
+  a.ebreak();
+  Program p = a.finish();
+  EXPECT_EQ(p.decoded()[0].op, Op::kJal);
+  EXPECT_EQ(p.decoded()[0].imm, 8);
+}
+
+TEST(Assembler, UnboundLabelThrows) {
+  Assembler a;
+  auto label = a.new_label();
+  a.j(label);
+  EXPECT_THROW((void)a.finish(), SimError);
+}
+
+TEST(Assembler, DoubleBindThrows) {
+  Assembler a;
+  auto label = a.new_label();
+  a.bind(label);
+  EXPECT_THROW(a.bind(label), SimError);
+}
+
+TEST(Assembler, LiSmallUsesSingleAddi) {
+  Assembler a;
+  a.li(x(5), 42);
+  Program p = a.finish();
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.decoded()[0].op, Op::kAddi);
+  EXPECT_EQ(p.decoded()[0].imm, 42);
+}
+
+TEST(Assembler, LiLargeUsesLuiAddi) {
+  Assembler a;
+  a.li(x(5), 0x12345678);
+  Program p = a.finish();
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.decoded()[0].op, Op::kLui);
+  EXPECT_EQ(p.decoded()[1].op, Op::kAddi);
+}
+
+TEST(Assembler, LiRejectsValuesBeyond32Bits) {
+  Assembler a;
+  EXPECT_THROW(a.li(x(5), 0x1'0000'0000ll), SimError);
+}
+
+TEST(Assembler, RegisterConstructorsRangeCheck) {
+  EXPECT_THROW((void)x(32), SimError);
+  EXPECT_THROW((void)f(32), SimError);
+  EXPECT_THROW((void)v(32), SimError);
+  EXPECT_EQ(x(31).num, 31);
+}
+
+TEST(Assembler, CustomInstructionEncodes) {
+  Assembler a;
+  a.vindexmac_vx(v(1), v(4), x(7));
+  a.vfindexmac_vx(v(2), v(5), x(8));
+  Program p = a.finish();
+  EXPECT_EQ(p.decoded()[0].op, Op::kVindexmacVx);
+  EXPECT_EQ(p.decoded()[0].rd, 1);
+  EXPECT_EQ(p.decoded()[0].rs2, 4);
+  EXPECT_EQ(p.decoded()[0].rs1, 7);
+  EXPECT_EQ(p.decoded()[1].op, Op::kVfindexmacVx);
+}
+
+TEST(Assembler, FinishTwiceThrows) {
+  Assembler a;
+  a.nop();
+  (void)a.finish();
+  EXPECT_THROW((void)a.finish(), SimError);
+}
+
+TEST(Program, AtChecksBounds) {
+  Assembler a;
+  a.nop();
+  Program p = a.finish(0x1000);
+  EXPECT_NO_THROW((void)p.at(0x1000));
+  EXPECT_THROW((void)p.at(0x1004), SimError);
+  EXPECT_THROW((void)p.at(0x0ffc), SimError);
+  EXPECT_THROW((void)p.at(0x1001), SimError);
+}
+
+TEST(Program, ListingContainsDisassembly) {
+  Assembler a;
+  a.vindexmac_vx(v(3), v(6), x(9));
+  Program p = a.finish(0x2000);
+  const std::string listing = p.listing();
+  EXPECT_NE(listing.find("vindexmac.vx v3, v6, x9"), std::string::npos);
+  EXPECT_NE(listing.find("00002000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace indexmac

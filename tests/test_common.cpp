@@ -1,0 +1,71 @@
+// Tests for the common support module (table formatting, error plumbing).
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/format.h"
+
+namespace indexmac {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.set_header({"a", "long-header", "c"});
+  t.add_row({"1", "x", "third"});
+  t.add_row({"22", "yy", "z"});
+  const std::string out = t.to_string();
+  // Every line has the same prefix structure; the separator spans the
+  // header width.
+  EXPECT_NE(out.find("a   long-header  c"), std::string::npos);
+  EXPECT_NE(out.find("1   x            third"), std::string::npos);
+  EXPECT_NE(out.find("22  yy           z"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TextTable, RejectsMismatchedRowWidth) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), SimError);
+}
+
+TEST(TextTable, WorksWithoutHeader) {
+  TextTable t;
+  t.add_row({"x", "y"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_NE(t.to_string().find("x  y"), std::string::npos);
+}
+
+TEST(Format, FixedDigits) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(-0.5, 1), "-0.5");
+  EXPECT_EQ(fmt_fixed(2.0, 0), "2");
+}
+
+TEST(Format, Speedup) { EXPECT_EQ(fmt_speedup(1.946), "1.95x"); }
+
+TEST(Format, CountsWithSeparators) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(1234567890), "1,234,567,890");
+}
+
+TEST(Error, RaiseThrowsSimError) {
+  EXPECT_THROW(raise("boom"), SimError);
+  try {
+    raise("specific message");
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("specific message"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckMacroIncludesMessage) {
+  try {
+    IMAC_CHECK(false, "the condition text");
+    FAIL();
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("the condition text"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace indexmac

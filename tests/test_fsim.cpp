@@ -1,0 +1,410 @@
+#include <gtest/gtest.h>
+
+#include "asm/assembler.h"
+#include "asm/text_assembler.h"
+#include "fsim/machine.h"
+
+namespace indexmac {
+namespace {
+
+/// Runs `body` (already containing ebreak) and returns the machine.
+struct SimRun {
+  MainMemory mem;
+  std::unique_ptr<Machine> machine;
+  Program program;
+
+  explicit SimRun(Assembler& a) : program(a.finish()) {
+    machine = std::make_unique<Machine>(program, mem);
+  }
+  StopReason go(std::uint64_t max_steps = 1'000'000) { return machine->run(max_steps); }
+  [[nodiscard]] const ArchState& state() const { return machine->state(); }
+};
+
+TEST(Fsim, ArithmeticAndHalt) {
+  Assembler a;
+  a.li(x(1), 20);
+  a.li(x(2), 22);
+  a.add(x(3), x(1), x(2));
+  a.ebreak();
+  SimRun r(a);
+  EXPECT_EQ(r.go(), StopReason::kEbreak);
+  EXPECT_EQ(r.state().x[3], 42u);
+}
+
+TEST(Fsim, X0IsHardwiredZero) {
+  Assembler a;
+  a.li(x(0), 99);
+  a.add(x(1), x(0), x(0));
+  a.ebreak();
+  SimRun r(a);
+  r.go();
+  EXPECT_EQ(r.state().x[0], 0u);
+  EXPECT_EQ(r.state().x[1], 0u);
+}
+
+TEST(Fsim, SignedArithmeticAndComparisons) {
+  Assembler a;
+  a.li(x(1), -5);
+  a.li(x(2), 3);
+  a.slt(x(3), x(1), x(2));   // -5 < 3 -> 1
+  a.sltu(x(4), x(1), x(2));  // huge unsigned < 3 -> 0
+  a.sub(x(5), x(2), x(1));   // 3 - (-5) = 8
+  a.mul(x(6), x(1), x(2));   // -15
+  a.sra(x(7), x(1), x(2));   // -5 >> 3 = -1
+  a.ebreak();
+  SimRun r(a);
+  r.go();
+  EXPECT_EQ(r.state().x[3], 1u);
+  EXPECT_EQ(r.state().x[4], 0u);
+  EXPECT_EQ(r.state().x[5], 8u);
+  EXPECT_EQ(static_cast<std::int64_t>(r.state().x[6]), -15);
+  EXPECT_EQ(static_cast<std::int64_t>(r.state().x[7]), -1);
+}
+
+TEST(Fsim, LoadStoreWidths) {
+  Assembler a;
+  a.li(x(1), 0x1000);
+  a.li(x(2), -2);           // 0xfffffffffffffffe
+  a.sw(x(2), x(1), 0);      // stores 0xfffffffe
+  a.lw(x(3), x(1), 0);      // sign-extends
+  a.lwu(x(4), x(1), 0);     // zero-extends
+  a.sd(x(2), x(1), 8);
+  a.ld(x(5), x(1), 8);
+  a.ebreak();
+  SimRun r(a);
+  r.go();
+  EXPECT_EQ(static_cast<std::int64_t>(r.state().x[3]), -2);
+  EXPECT_EQ(r.state().x[4], 0xfffffffeu);
+  EXPECT_EQ(static_cast<std::int64_t>(r.state().x[5]), -2);
+}
+
+TEST(Fsim, BranchLoopSumsIntegers) {
+  Assembler a;
+  a.li(x(1), 10);   // counter
+  a.li(x(2), 0);    // sum
+  auto loop = a.new_label();
+  a.bind(loop);
+  a.add(x(2), x(2), x(1));
+  a.addi(x(1), x(1), -1);
+  a.bne(x(1), x(0), loop);
+  a.ebreak();
+  SimRun r(a);
+  EXPECT_EQ(r.go(), StopReason::kEbreak);
+  EXPECT_EQ(r.state().x[2], 55u);
+}
+
+TEST(Fsim, JalAndJalrLinkCorrectly) {
+  Assembler a;
+  auto func = a.new_label();
+  a.jal(x(1), func);        // call
+  a.li(x(10), 111);         // executed after return
+  a.ebreak();
+  a.bind(func);
+  a.li(x(11), 222);
+  a.jalr(x(0), x(1), 0);    // return
+  SimRun r(a);
+  r.go();
+  EXPECT_EQ(r.state().x[10], 111u);
+  EXPECT_EQ(r.state().x[11], 222u);
+}
+
+TEST(Fsim, EcallStops) {
+  Assembler a;
+  a.ecall();
+  SimRun r(a);
+  EXPECT_EQ(r.go(), StopReason::kEcall);
+}
+
+TEST(Fsim, MaxStepsStops) {
+  Assembler a;
+  auto loop = a.new_label();
+  a.bind(loop);
+  a.j(loop);
+  SimRun r(a);
+  EXPECT_EQ(r.go(100), StopReason::kMaxSteps);
+}
+
+TEST(Fsim, MarkerHookFires) {
+  Assembler a;
+  a.marker(3);
+  a.marker(9);
+  a.ebreak();
+  SimRun r(a);
+  std::vector<int> ids;
+  r.machine->set_marker_hook([&ids](int id) { ids.push_back(id); });
+  r.go();
+  EXPECT_EQ(ids, (std::vector<int>{3, 9}));
+}
+
+TEST(Fsim, VsetvliClampsToVlmax) {
+  Assembler a;
+  a.li(x(1), 100);
+  a.vsetvli_e32m1(x(2), x(1));
+  a.ebreak();
+  SimRun r(a);
+  r.go();
+  EXPECT_EQ(r.state().vl, isa::kVlMax);
+  EXPECT_EQ(r.state().x[2], isa::kVlMax);
+}
+
+TEST(Fsim, VsetvliPartialVl) {
+  Assembler a;
+  a.li(x(1), 5);
+  a.vsetvli_e32m1(x(2), x(1));
+  a.ebreak();
+  SimRun r(a);
+  r.go();
+  EXPECT_EQ(r.state().vl, 5u);
+}
+
+TEST(Fsim, VectorLoadStoreRoundTrip) {
+  Assembler a;
+  a.li(x(1), 16);
+  a.vsetvli_e32m1(x(0), x(1));
+  a.li(x(2), 0x1000);
+  a.li(x(3), 0x2000);
+  a.vle32(v(1), x(2));
+  a.vse32(v(1), x(3));
+  a.ebreak();
+  SimRun r(a);
+  std::vector<std::int32_t> data(16);
+  for (int i = 0; i < 16; ++i) data[i] = i * 3 - 7;
+  r.mem.write_i32s(0x1000, data);
+  r.go();
+  EXPECT_EQ(r.mem.read_i32s(0x2000, 16), data);
+}
+
+TEST(Fsim, VectorLoadRespectsVl) {
+  Assembler a;
+  a.li(x(1), 4);
+  a.vsetvli_e32m1(x(0), x(1));
+  a.li(x(2), 0x1000);
+  a.vle32(v(1), x(2));
+  a.ebreak();
+  SimRun r(a);
+  std::vector<std::int32_t> data(16, 5);
+  r.mem.write_i32s(0x1000, data);
+  r.go();
+  EXPECT_EQ(r.state().v[1][3], 5u);
+  EXPECT_EQ(r.state().v[1][4], 0u);  // untouched beyond vl
+}
+
+TEST(Fsim, VaddVxAddsScalar) {
+  Assembler a;
+  a.li(x(1), 16);
+  a.vsetvli_e32m1(x(0), x(1));
+  a.li(x(2), 0x1000);
+  a.vle32(v(1), x(2));
+  a.li(x(3), 100);
+  a.vadd_vx(v(2), v(1), x(3));
+  a.ebreak();
+  SimRun r(a);
+  std::vector<std::int32_t> data(16);
+  for (int i = 0; i < 16; ++i) data[i] = i;
+  r.mem.write_i32s(0x1000, data);
+  r.go();
+  for (unsigned i = 0; i < 16; ++i) EXPECT_EQ(r.state().v[2][i], i + 100);
+}
+
+TEST(Fsim, VmaccVxAccumulates) {
+  Assembler a;
+  a.li(x(1), 16);
+  a.vsetvli_e32m1(x(0), x(1));
+  a.li(x(2), 0x1000);
+  a.vle32(v(1), x(2));   // v1 = data
+  a.vmv_v_i(v(2), 1);    // v2 = 1
+  a.li(x(3), 10);
+  a.vmacc_vx(v(2), x(3), v(1));  // v2 += 10 * v1
+  a.ebreak();
+  SimRun r(a);
+  std::vector<std::int32_t> data(16);
+  for (int i = 0; i < 16; ++i) data[i] = i;
+  r.mem.write_i32s(0x1000, data);
+  r.go();
+  for (unsigned i = 0; i < 16; ++i) EXPECT_EQ(r.state().v[2][i], 1 + 10 * i);
+}
+
+TEST(Fsim, VfmaccVfAccumulatesFloats) {
+  Assembler a;
+  a.li(x(1), 16);
+  a.vsetvli_e32m1(x(0), x(1));
+  a.li(x(2), 0x1000);
+  a.li(x(4), 0x2000);
+  a.vle32(v(1), x(2));
+  a.vmv_v_i(v(2), 0);
+  a.flw(f(1), x(4), 0);
+  a.vfmacc_vf(v(2), f(1), v(1));
+  a.ebreak();
+  SimRun r(a);
+  std::vector<float> data(16);
+  for (int i = 0; i < 16; ++i) data[i] = 0.5f * static_cast<float>(i);
+  r.mem.write_f32s(0x1000, data);
+  r.mem.write_f32(0x2000, 2.0f);
+  r.go();
+  for (unsigned i = 0; i < 16; ++i)
+    EXPECT_FLOAT_EQ(r.state().velem_f32(2, i), static_cast<float>(i));
+}
+
+TEST(Fsim, VmvXsSignExtends) {
+  Assembler a;
+  a.li(x(1), 16);
+  a.vsetvli_e32m1(x(0), x(1));
+  a.li(x(2), -7);
+  a.vmv_s_x(v(1), x(2));
+  a.vmv_x_s(x(3), v(1));
+  a.ebreak();
+  SimRun r(a);
+  r.go();
+  EXPECT_EQ(static_cast<std::int64_t>(r.state().x[3]), -7);
+}
+
+TEST(Fsim, Slide1DownShiftsAndInsertsScalar) {
+  Assembler a;
+  a.li(x(1), 16);
+  a.vsetvli_e32m1(x(0), x(1));
+  a.li(x(2), 0x1000);
+  a.vle32(v(1), x(2));
+  a.li(x(3), 999);
+  a.vslide1down_vx(v(1), v(1), x(3));  // in-place slide
+  a.ebreak();
+  SimRun r(a);
+  std::vector<std::int32_t> data(16);
+  for (int i = 0; i < 16; ++i) data[i] = i + 1;
+  r.mem.write_i32s(0x1000, data);
+  r.go();
+  for (unsigned i = 0; i < 15; ++i) EXPECT_EQ(r.state().v[1][i], i + 2);
+  EXPECT_EQ(r.state().v[1][15], 999u);
+}
+
+TEST(Fsim, SlidedownByImmediate) {
+  Assembler a;
+  a.li(x(1), 16);
+  a.vsetvli_e32m1(x(0), x(1));
+  a.li(x(2), 0x1000);
+  a.vle32(v(1), x(2));
+  a.vslidedown_vi(v(2), v(1), 3);
+  a.ebreak();
+  SimRun r(a);
+  std::vector<std::int32_t> data(16);
+  for (int i = 0; i < 16; ++i) data[i] = 10 * i;
+  r.mem.write_i32s(0x1000, data);
+  r.go();
+  for (unsigned i = 0; i < 13; ++i) EXPECT_EQ(r.state().v[2][i], 10 * (i + 3));
+  EXPECT_EQ(r.state().v[2][13], 0u);  // slid past VLMAX -> zero
+}
+
+TEST(Fsim, VindexmacIntegerIndirectRead) {
+  Assembler a;
+  a.li(x(1), 16);
+  a.vsetvli_e32m1(x(0), x(1));
+  // v8 holds the "B row"; v1 holds packed values; accumulate into v2.
+  a.li(x(2), 0x1000);
+  a.vle32(v(8), x(2));
+  a.li(x(3), 0x2000);
+  a.vle32(v(1), x(3));
+  a.vmv_v_i(v(2), 0);
+  a.li(x(4), 8);                    // VRF index 8
+  a.vindexmac_vx(v(2), v(1), x(4)); // v2 += v1[0] * v8
+  a.ebreak();
+  SimRun r(a);
+  std::vector<std::int32_t> brow(16);
+  for (int i = 0; i < 16; ++i) brow[i] = i + 1;
+  r.mem.write_i32s(0x1000, brow);
+  std::vector<std::int32_t> values(16, 0);
+  values[0] = 3;
+  r.mem.write_i32s(0x2000, values);
+  r.go();
+  for (unsigned i = 0; i < 16; ++i) EXPECT_EQ(r.state().v[2][i], 3u * (i + 1));
+}
+
+TEST(Fsim, VindexmacUsesOnlyLow5BitsOfRs) {
+  Assembler a;
+  a.li(x(1), 16);
+  a.vsetvli_e32m1(x(0), x(1));
+  a.li(x(2), 0x1000);
+  a.vle32(v(8), x(2));
+  a.li(x(3), 0x2000);
+  a.vle32(v(1), x(3));
+  a.vmv_v_i(v(2), 0);
+  a.li(x(4), 32 + 8);               // 0x28: low 5 bits = 8
+  a.vindexmac_vx(v(2), v(1), x(4));
+  a.ebreak();
+  SimRun r(a);
+  std::vector<std::int32_t> brow(16, 2);
+  r.mem.write_i32s(0x1000, brow);
+  std::vector<std::int32_t> values(16, 0);
+  values[0] = 5;
+  r.mem.write_i32s(0x2000, values);
+  r.go();
+  EXPECT_EQ(r.state().v[2][0], 10u);
+}
+
+TEST(Fsim, VfindexmacFloatIndirectRead) {
+  Assembler a;
+  a.li(x(1), 16);
+  a.vsetvli_e32m1(x(0), x(1));
+  a.li(x(2), 0x1000);
+  a.vle32(v(20), x(2));
+  a.li(x(3), 0x2000);
+  a.vle32(v(1), x(3));
+  a.li(x(5), 0x3000);
+  a.vle32(v(2), x(5));              // initial C values
+  a.li(x(4), 20);
+  a.vfindexmac_vx(v(2), v(1), x(4));
+  a.ebreak();
+  SimRun r(a);
+  std::vector<float> brow(16), values(16, 0.0f), c0(16);
+  for (int i = 0; i < 16; ++i) {
+    brow[i] = 0.25f * static_cast<float>(i);
+    c0[i] = 1.0f;
+  }
+  values[0] = -2.0f;
+  r.mem.write_f32s(0x1000, brow);
+  r.mem.write_f32s(0x2000, values);
+  r.mem.write_f32s(0x3000, c0);
+  r.go();
+  for (unsigned i = 0; i < 16; ++i)
+    EXPECT_FLOAT_EQ(r.state().velem_f32(2, i), 1.0f - 0.5f * static_cast<float>(i));
+}
+
+TEST(Fsim, TextAssembledKernelMatchesBuilder) {
+  const auto out = assemble_text(R"(
+      li t0, 16
+      vsetvli zero, t0, e32m1
+      li t1, 0x1000
+      vle32.v v8, (t1)
+      li t2, 0x2000
+      vle32.v v1, (t2)
+      vmv.v.i v2, 0
+      li t3, 8
+      vindexmac.vx v2, v1, t3
+      ebreak
+  )");
+  MainMemory mem;
+  std::vector<std::int32_t> brow(16);
+  for (int i = 0; i < 16; ++i) brow[i] = i;
+  mem.write_i32s(0x1000, brow);
+  std::vector<std::int32_t> values(16, 0);
+  values[0] = 7;
+  mem.write_i32s(0x2000, values);
+  Machine machine(out.program, mem);
+  EXPECT_EQ(machine.run(), StopReason::kEbreak);
+  for (unsigned i = 0; i < 16; ++i) EXPECT_EQ(machine.state().v[2][i], 7u * i);
+}
+
+TEST(Fsim, RetiredInstructionCount) {
+  Assembler a;
+  a.li(x(1), 3);
+  auto loop = a.new_label();
+  a.bind(loop);
+  a.addi(x(1), x(1), -1);
+  a.bne(x(1), x(0), loop);
+  a.ebreak();
+  SimRun r(a);
+  r.go();
+  // li(1) + 3*(addi+bne) + ebreak = 8
+  EXPECT_EQ(r.machine->instructions_retired(), 8u);
+}
+
+}  // namespace
+}  // namespace indexmac

@@ -1,0 +1,285 @@
+// Gather/reduction vector-ISA extensions and the structured-sparse SpMV
+// kernel built on them.
+#include <gtest/gtest.h>
+
+#include "asm/assembler.h"
+#include "asm/text_assembler.h"
+#include "fsim/machine.h"
+#include "isa/encoding.h"
+#include "kernels/spmv_kernel.h"
+#include "timing/timing_sim.h"
+
+namespace indexmac {
+namespace {
+
+using isa::Instruction;
+using isa::Op;
+
+// ---------- encodings ----------
+
+TEST(GatherOps, EncodeDecodeRoundTrips) {
+  for (const Op op : {Op::kVaddVV, Op::kVfaddVV, Op::kVmulVV, Op::kVfmulVV, Op::kVredsumVS,
+                      Op::kVfredusumVS}) {
+    const Instruction inst{op, 1, 2, 3, 0};
+    std::string err;
+    EXPECT_EQ(isa::decode(isa::encode(inst), &err), inst) << isa::mnemonic(op) << err;
+  }
+  const Instruction gather{Op::kVluxei32, 4, 5, 6, 0};
+  EXPECT_EQ(isa::decode(isa::encode(gather)), gather);
+}
+
+TEST(GatherOps, DisassemblyAndTextAssemblyAgree) {
+  const auto out = assemble_text(R"(
+    vadd.vv v1, v2, v3
+    vfmul.vv v4, v5, v6
+    vfredusum.vs v7, v8, v9
+    vluxei32.v v10, (a0), v11
+  )");
+  EXPECT_EQ(out.program.decoded()[0].op, Op::kVaddVV);
+  EXPECT_EQ(out.program.decoded()[1].op, Op::kVfmulVV);
+  EXPECT_EQ(out.program.decoded()[2].op, Op::kVfredusumVS);
+  EXPECT_EQ(out.program.decoded()[3].op, Op::kVluxei32);
+  EXPECT_EQ(isa::disassemble(out.program.decoded()[3]), "vluxei32.v v10, (x10), v11");
+  // Round trip through disassembly.
+  std::string text;
+  for (const auto& inst : out.program.decoded()) text += isa::disassemble(inst) + "\n";
+  EXPECT_EQ(assemble_text(text).program.words(), out.program.words());
+}
+
+TEST(GatherOps, IndexedStoreRejected) {
+  // Flip the unit-stride store's mop field to 01: must not decode.
+  Assembler a;
+  a.vse32(v(1), x(2));
+  const std::uint32_t word = a.finish().words()[0] | (0b01u << 26);
+  std::string err;
+  EXPECT_EQ(isa::decode(word, &err).op, Op::kIllegal);
+}
+
+// ---------- functional semantics ----------
+
+struct SimRun {
+  MainMemory mem;
+  std::unique_ptr<Machine> machine;
+  Program program;
+  explicit SimRun(Assembler& a) : program(a.finish()) {
+    machine = std::make_unique<Machine>(program, mem);
+  }
+};
+
+TEST(GatherOps, VluxeiGathersByByteOffset) {
+  Assembler a;
+  a.li(x(1), 16);
+  a.vsetvli_e32m1(x(0), x(1));
+  a.li(x(2), 0x1000);  // offsets
+  a.vle32(v(8), x(2));
+  a.li(x(3), 0x2000);  // x base
+  a.vluxei32(v(12), x(3), v(8));
+  a.ebreak();
+  SimRun r(a);
+  std::vector<std::int32_t> offsets(16), data(64);
+  for (int i = 0; i < 16; ++i) offsets[i] = ((15 - i) * 4);  // reversed gather
+  for (int i = 0; i < 64; ++i) data[i] = 1000 + i;
+  r.mem.write_i32s(0x1000, offsets);
+  r.mem.write_i32s(0x2000, data);
+  r.machine->run();
+  for (unsigned i = 0; i < 16; ++i) EXPECT_EQ(r.machine->state().v[12][i], 1000u + 15 - i);
+}
+
+TEST(GatherOps, VluxeiAliasedIndexRegisterIsSafe) {
+  // vd == vs2: indices must be snapshotted before writes.
+  Assembler a;
+  a.li(x(1), 16);
+  a.vsetvli_e32m1(x(0), x(1));
+  a.li(x(2), 0x1000);
+  a.vle32(v(8), x(2));
+  a.li(x(3), 0x2000);
+  a.vluxei32(v(8), x(3), v(8));
+  a.ebreak();
+  SimRun r(a);
+  std::vector<std::int32_t> offsets(16), data(64);
+  for (int i = 0; i < 16; ++i) offsets[i] = 4 * i;
+  for (int i = 0; i < 64; ++i) data[i] = 7 * i;
+  r.mem.write_i32s(0x1000, offsets);
+  r.mem.write_i32s(0x2000, data);
+  r.machine->run();
+  for (unsigned i = 0; i < 16; ++i) EXPECT_EQ(r.machine->state().v[8][i], 7u * i);
+}
+
+TEST(GatherOps, VectorVectorArithmetic) {
+  Assembler a;
+  a.li(x(1), 16);
+  a.vsetvli_e32m1(x(0), x(1));
+  a.li(x(2), 0x1000);
+  a.vle32(v(1), x(2));
+  a.li(x(3), 0x2000);
+  a.vle32(v(2), x(3));
+  a.vadd_vv(v(3), v(1), v(2));
+  a.vmul_vv(v(4), v(1), v(2));
+  a.ebreak();
+  SimRun r(a);
+  std::vector<std::int32_t> p(16), q(16);
+  for (int i = 0; i < 16; ++i) {
+    p[i] = i + 1;
+    q[i] = 2 * i - 3;
+  }
+  r.mem.write_i32s(0x1000, p);
+  r.mem.write_i32s(0x2000, q);
+  r.machine->run();
+  for (unsigned i = 0; i < 16; ++i) {
+    EXPECT_EQ(static_cast<std::int32_t>(r.machine->state().v[3][i]), p[i] + q[i]);
+    EXPECT_EQ(static_cast<std::int32_t>(r.machine->state().v[4][i]), p[i] * q[i]);
+  }
+}
+
+TEST(GatherOps, FloatAddMulAndReduction) {
+  Assembler a;
+  a.li(x(1), 16);
+  a.vsetvli_e32m1(x(0), x(1));
+  a.li(x(2), 0x1000);
+  a.vle32(v(1), x(2));
+  a.vfadd_vv(v(2), v(1), v(1));   // 2x
+  a.vfmul_vv(v(3), v(1), v(1));   // x^2
+  a.vmv_v_i(v(9), 0);
+  a.vfredusum_vs(v(5), v(1), v(9));
+  a.ebreak();
+  SimRun r(a);
+  std::vector<float> xs(16);
+  float sum = 0;
+  for (int i = 0; i < 16; ++i) {
+    xs[i] = 0.5f * static_cast<float>(i) - 2.0f;
+    sum += xs[i];
+  }
+  r.mem.write_f32s(0x1000, xs);
+  r.machine->run();
+  for (unsigned i = 0; i < 16; ++i) {
+    EXPECT_FLOAT_EQ(r.machine->state().velem_f32(2, i), 2.0f * xs[i]);
+    EXPECT_FLOAT_EQ(r.machine->state().velem_f32(3, i), xs[i] * xs[i]);
+  }
+  EXPECT_NEAR(r.machine->state().velem_f32(5, 0), sum, 1e-4);
+}
+
+TEST(GatherOps, IntReductionWithSeed) {
+  Assembler a;
+  a.li(x(1), 16);
+  a.vsetvli_e32m1(x(0), x(1));
+  a.vmv_v_i(v(1), 3);    // sixteen threes
+  a.li(x(2), 100);
+  a.vmv_s_x(v(9), x(2));  // seed 100
+  a.vredsum_vs(v(5), v(1), v(9));
+  a.vmv_x_s(x(3), v(5));
+  a.ebreak();
+  SimRun r(a);
+  r.machine->run();
+  EXPECT_EQ(r.machine->state().x[3], 100u + 16 * 3);
+}
+
+TEST(GatherOps, ReductionRespectsVl) {
+  Assembler a;
+  a.li(x(1), 16);
+  a.vsetvli_e32m1(x(0), x(1));
+  a.vmv_v_i(v(1), 1);
+  a.li(x(2), 5);
+  a.vsetvli_e32m1(x(0), x(2));  // only 5 elements participate
+  a.vmv_v_i(v(9), 0);
+  a.vredsum_vs(v(5), v(1), v(9));
+  a.vmv_x_s(x(3), v(5));
+  a.ebreak();
+  SimRun r(a);
+  r.machine->run();
+  EXPECT_EQ(r.machine->state().x[3], 5u);
+}
+
+// ---------- gather timing ----------
+
+TEST(GatherTiming, GatherCountsOneAccessPerElement) {
+  Assembler a;
+  a.li(x(1), 16);
+  a.vsetvli_e32m1(x(0), x(1));
+  a.li(x(2), 0x1000);
+  a.vle32(v(8), x(2));
+  a.li(x(3), 0x2000);
+  a.vluxei32(v(12), x(3), v(8));
+  a.ebreak();
+  MainMemory mem;
+  std::vector<std::int32_t> offsets(16);
+  for (int i = 0; i < 16; ++i) offsets[i] = 256 * i;  // scattered lines
+  mem.write_i32s(0x1000, offsets);
+  Program p = a.finish();
+  timing::TimingSim sim(p, mem, timing::ProcessorConfig{});
+  const auto& stats = sim.run();
+  // 1 unit-stride load + 16 gathered element accesses.
+  EXPECT_EQ(stats.mem.vector_reads, 1u + 16u);
+}
+
+// ---------- SpMV kernel ----------
+
+class SpmvKernel
+    : public ::testing::TestWithParam<std::tuple<sparse::Sparsity, int /*rows*/, int /*k*/>> {};
+
+TEST_P(SpmvKernel, MatchesReference) {
+  const auto [sp, rows, k] = GetParam();
+  const auto dense = sparse::random_matrix<float>(static_cast<std::size_t>(rows),
+                                                  static_cast<std::size_t>(k), 7, -1.0f, 1.0f);
+  const auto a = sparse::NmMatrix<float>::prune_from_dense(dense, sp);
+  const auto xvec = sparse::random_matrix<float>(static_cast<std::size_t>(k), 1, 8, -1.0f, 1.0f);
+
+  const auto packed = kernels::pack_spmv(a);
+  AddressAllocator alloc;
+  const auto layout = kernels::make_spmv_layout(a.rows(), static_cast<std::size_t>(k),
+                                                packed.slots_padded, alloc);
+  MainMemory mem;
+  mem.write_f32s(layout.a_values, packed.values);
+  mem.write_i32s(layout.a_offsets, packed.offsets);
+  std::vector<float> x_image(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) x_image[static_cast<std::size_t>(i)] = xvec.at(i, 0);
+  mem.write_f32s(layout.x_base, x_image);
+
+  const Program program = emit_spmv_kernel(layout, kernels::ElemType::kF32);
+  Machine machine(program, mem);
+  ASSERT_EQ(machine.run(20'000'000), StopReason::kEbreak);
+
+  const auto y = mem.read_f32s(layout.y_base, a.rows());
+  const auto ref = sparse::matmul_reference(a.to_dense(), xvec);
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    ASSERT_NEAR(y[r], ref.at(r, 0), 2e-3) << "row " << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SpmvKernel,
+    ::testing::Values(std::make_tuple(sparse::kSparsity14, 8, 64),
+                      std::make_tuple(sparse::kSparsity24, 8, 64),
+                      std::make_tuple(sparse::kSparsity24, 17, 100),  // ragged
+                      std::make_tuple(sparse::Sparsity{1, 2}, 5, 32),
+                      std::make_tuple(sparse::Sparsity{2, 8}, 3, 128)),
+    [](const auto& info) {
+      return std::to_string(std::get<0>(info.param).n) + "of" +
+             std::to_string(std::get<0>(info.param).m) + "_r" +
+             std::to_string(std::get<1>(info.param)) + "_k" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(SpmvKernel, IntegerVariantMatchesReference) {
+  const auto dense = sparse::random_matrix<std::int32_t>(6, 48, 9, -5, 5);
+  const auto a = sparse::NmMatrix<std::int32_t>::prune_from_dense(dense, sparse::kSparsity24);
+  const auto xvec = sparse::random_matrix<std::int32_t>(48, 1, 10, -5, 5);
+
+  const auto packed = kernels::pack_spmv(a);
+  AddressAllocator alloc;
+  const auto layout = kernels::make_spmv_layout(6, 48, packed.slots_padded, alloc);
+  MainMemory mem;
+  mem.write_i32s(layout.a_values, packed.values);
+  mem.write_i32s(layout.a_offsets, packed.offsets);
+  std::vector<std::int32_t> x_image(48);
+  for (int i = 0; i < 48; ++i) x_image[static_cast<std::size_t>(i)] = xvec.at(i, 0);
+  mem.write_i32s(layout.x_base, x_image);
+
+  const Program program = emit_spmv_kernel(layout, kernels::ElemType::kI32);
+  Machine machine(program, mem);
+  ASSERT_EQ(machine.run(10'000'000), StopReason::kEbreak);
+  const auto y = mem.read_i32s(layout.y_base, 6);
+  const auto ref = sparse::matmul_reference(a.to_dense(), xvec);
+  for (std::size_t r = 0; r < 6; ++r) EXPECT_EQ(y[r], ref.at(r, 0)) << r;
+}
+
+}  // namespace
+}  // namespace indexmac

@@ -1,0 +1,331 @@
+// Behavioural tests of the cycle-level timing model: pipeline widths,
+// dependency latencies, structural hazards, the decoupled vector engine,
+// and the vector->scalar round trip that the vindexmac optimization targets.
+#include <gtest/gtest.h>
+
+#include "asm/assembler.h"
+#include "common/error.h"
+#include "timing/port_scheduler.h"
+#include "timing/timing_sim.h"
+
+namespace indexmac::timing {
+namespace {
+
+struct Timed {
+  MainMemory mem;
+  Program program;
+  TimingStats stats;
+  std::vector<MarkerEvent> markers;
+
+  explicit Timed(Assembler& a, const ProcessorConfig& config = ProcessorConfig{})
+      : program(a.finish()) {
+    TimingSim sim(program, mem, config);
+    stats = sim.run();
+    markers = sim.markers();
+  }
+};
+
+// ---------- PortScheduler / SlotPool ----------
+
+TEST(PortScheduler, WidthLimitsPerCycle) {
+  PortScheduler ports(2);
+  EXPECT_EQ(ports.claim(10), 10u);
+  EXPECT_EQ(ports.claim(10), 10u);
+  EXPECT_EQ(ports.claim(10), 11u);  // third request spills to the next cycle
+  EXPECT_EQ(ports.claim(5), 5u);    // earlier cycles still have room
+}
+
+TEST(PortScheduler, WindowSlidesForward) {
+  PortScheduler ports(1, 64);
+  EXPECT_EQ(ports.claim(0), 0u);
+  EXPECT_EQ(ports.claim(1'000'000), 1'000'000u);
+  // Requests far behind the window are clamped forward, never lost.
+  const std::uint64_t c = ports.claim(0);
+  EXPECT_GE(c, 1'000'000u - 64);
+}
+
+TEST(SlotPool, BlocksWhenAllSlotsHeld) {
+  SlotPool pool(2);
+  EXPECT_EQ(pool.available(0), 0u);
+  pool.claim(100);
+  pool.claim(200);
+  EXPECT_EQ(pool.available(0), 100u);  // ring: oldest slot frees first
+  pool.claim(150);
+  EXPECT_EQ(pool.available(0), 200u);
+}
+
+// ---------- scalar pipeline ----------
+
+TEST(Timing, IndependentAddsReachIssueWidth) {
+  Assembler a;
+  for (int i = 0; i < 800; ++i) a.addi(x(1 + (i % 8)), x(0), i % 100);
+  a.ebreak();
+  Timed t(a);
+  // 8-wide front end and issue: IPC must be near 8.
+  EXPECT_GT(t.stats.ipc(), 6.0);
+  EXPECT_EQ(t.stats.instructions, 801u);
+}
+
+TEST(Timing, DependencyChainSerializes) {
+  Assembler a;
+  for (int i = 0; i < 400; ++i) a.addi(x(1), x(1), 1);
+  a.ebreak();
+  Timed t(a);
+  // Chained adds: ~1 IPC regardless of width.
+  EXPECT_LT(t.stats.ipc(), 1.3);
+  EXPECT_GT(t.stats.cycles, 390u);
+}
+
+TEST(Timing, MulLatencyLongerThanAdd) {
+  Assembler chain_add;
+  for (int i = 0; i < 200; ++i) chain_add.add(x(1), x(1), x(1));
+  chain_add.ebreak();
+  Assembler chain_mul;
+  for (int i = 0; i < 200; ++i) chain_mul.mul(x(1), x(1), x(1));
+  chain_mul.ebreak();
+  Timed ta(chain_add);
+  Timed tm(chain_mul);
+  EXPECT_GT(tm.stats.cycles, 2 * ta.stats.cycles);
+}
+
+TEST(Timing, ColdLoadPaysDramLatency) {
+  Assembler a;
+  a.li(x(1), 0x100000);
+  a.lw(x(2), x(1), 0);
+  a.add(x(3), x(2), x(2));  // dependent on the load
+  a.ebreak();
+  Timed t(a);
+  EXPECT_GT(t.stats.cycles, 100u);  // DRAM latency dominates
+}
+
+TEST(Timing, WarmLoadIsFast) {
+  Assembler a;
+  a.li(x(1), 0x100000);
+  a.lw(x(2), x(1), 0);   // cold
+  for (int i = 0; i < 50; ++i) a.lw(x(2), x(1), 0);  // warm hits
+  a.ebreak();
+  Timed t(a);
+  // 50 warm hits add only a few cycles each beyond the cold miss.
+  EXPECT_LT(t.stats.cycles, 400u);
+}
+
+TEST(Timing, StoreToLoadForwards) {
+  Assembler a;
+  a.li(x(1), 0x100000);
+  a.li(x(2), 42);
+  a.sw(x(2), x(1), 0);
+  a.lw(x(3), x(1), 0);  // must forward, not wait for DRAM
+  a.ebreak();
+  Timed t(a);
+  EXPECT_LT(t.stats.cycles, 60u);
+}
+
+TEST(Timing, PredictableLoopBranchesAreCheap) {
+  Assembler a;
+  a.li(x(1), 100);
+  auto loop = a.new_label();
+  a.bind(loop);
+  a.addi(x(1), x(1), -1);
+  a.bne(x(1), x(0), loop);  // backward: predicted taken, right 99/100 times
+  a.ebreak();
+  Timed t(a);
+  EXPECT_EQ(t.stats.branch_mispredicts, 1u);  // only the loop exit
+}
+
+TEST(Timing, MispredictsCostCycles) {
+  // Alternating forward branches taken half the time: static not-taken
+  // prediction misses on every taken instance.
+  Assembler a;
+  a.li(x(1), 50);
+  auto loop = a.new_label();
+  a.bind(loop);
+  auto skip = a.new_label();
+  a.andi(x(2), x(1), 1);
+  a.beq(x(2), x(0), skip);  // forward branch: predicted not-taken
+  a.nop();
+  a.bind(skip);
+  a.addi(x(1), x(1), -1);
+  a.bne(x(1), x(0), loop);
+  a.ebreak();
+  Timed t(a);
+  EXPECT_GT(t.stats.branch_mispredicts, 20u);
+  // Each mispredict costs at least the refill penalty.
+  EXPECT_GT(t.stats.cycles, t.stats.instructions);
+}
+
+TEST(Timing, RobBoundsInflightWork) {
+  // A long dependency stall at the head must back-pressure dispatch: total
+  // time ~ stall + drain rather than overlapping everything.
+  Assembler a;
+  a.li(x(1), 0x200000);
+  a.lw(x(2), x(1), 0);        // cold miss ~110 cycles
+  a.add(x(3), x(2), x(2));    // blocks at ROB head until the load returns
+  for (int i = 0; i < 300; ++i) a.addi(x(4 + (i % 4)), x(0), 1);
+  a.ebreak();
+  Timed t(a);
+  // With a 60-entry ROB the adds cannot all hide under the miss: 300 adds
+  // at 8/cycle = ~38 cycles, but only ~60 fit in flight during the miss.
+  EXPECT_GT(t.stats.cycles, 130u);
+}
+
+// ---------- vector engine ----------
+
+TEST(Timing, VectorInstructionsFlowThroughEngine) {
+  Assembler a;
+  a.li(x(1), 16);
+  a.vsetvli_e32m1(x(0), x(1));
+  a.li(x(2), 0x100000);
+  a.vle32(v(1), x(2));
+  a.vadd_vi(v(2), v(1), 1);
+  a.vse32(v(2), x(2));
+  a.ebreak();
+  Timed t(a);
+  EXPECT_EQ(t.stats.vector_instructions, 3u);
+  EXPECT_EQ(t.stats.vector_loads, 1u);
+  EXPECT_EQ(t.stats.vector_stores, 1u);
+  EXPECT_EQ(t.stats.mem.vector_reads, 1u);
+  EXPECT_EQ(t.stats.mem.vector_writes, 1u);
+}
+
+TEST(Timing, VectorToScalarRoundTripStalls) {
+  // vmv.x.s followed by a dependent scalar op pays the engine round trip.
+  Assembler with_roundtrip;
+  with_roundtrip.li(x(1), 16);
+  with_roundtrip.vsetvli_e32m1(x(0), x(1));
+  for (int i = 0; i < 64; ++i) {
+    with_roundtrip.vmv_x_s(x(2), v(1));
+    with_roundtrip.addi(x(3), x(2), 1);  // dependent
+  }
+  with_roundtrip.ebreak();
+  Assembler without;
+  without.li(x(1), 16);
+  without.vsetvli_e32m1(x(0), x(1));
+  for (int i = 0; i < 64; ++i) {
+    without.vadd_vi(v(2), v(1), 1);   // engine work, no scalar result
+    without.addi(x(3), x(0), 1);      // independent
+  }
+  without.ebreak();
+  Timed tr(with_roundtrip);
+  Timed tw(without);
+  EXPECT_GT(tr.stats.cycles, tw.stats.cycles);
+  EXPECT_EQ(tr.stats.vector_to_scalar_moves, 64u);
+}
+
+TEST(Timing, EngineQueueDecouplesAhead) {
+  // Independent vector adds behind a scalar dependency chain: the engine
+  // keeps working while the scalar core grinds -> high overlap.
+  Assembler a;
+  a.li(x(1), 16);
+  a.vsetvli_e32m1(x(0), x(1));
+  for (int i = 0; i < 100; ++i) {
+    a.vadd_vi(v(1 + (i % 4)), v(10), 1);
+    a.addi(x(2), x(2), 1);
+  }
+  a.ebreak();
+  Timed t(a);
+  // 100 vector + ~100 scalar in ~max(engine, scalar) time, not the sum.
+  EXPECT_LT(t.stats.cycles, 260u);
+}
+
+TEST(Timing, VectorLoadsOverlapInLoadQueues) {
+  // 16 independent warm vector loads should pipeline through the L2.
+  Assembler a;
+  a.li(x(1), 16);
+  a.vsetvli_e32m1(x(0), x(1));
+  a.li(x(2), 0x100000);
+  for (int rep = 0; rep < 2; ++rep) {  // first pass warms, second measures
+    for (int i = 0; i < 16; ++i) {
+      a.addi(x(3), x(2), i * 64);
+      a.vle32(v(i % 8), x(3));
+    }
+  }
+  a.ebreak();
+  Timed t(a);
+  // Serial L2 hits would cost 32*8 = 256+ cycles in the engine alone.
+  EXPECT_LT(t.stats.cycles, 220u);
+}
+
+TEST(Timing, VindexmacAvoidsMemorySystem) {
+  // One vindexmac vs one vle32+vfmacc: the indirect read makes no memory
+  // accesses at all.
+  Assembler a;
+  a.li(x(1), 16);
+  a.vsetvli_e32m1(x(0), x(1));
+  a.li(x(2), 20);
+  for (int i = 0; i < 32; ++i) a.vfindexmac_vx(v(1), v(2), x(2));
+  a.ebreak();
+  Timed t(a);
+  EXPECT_EQ(t.stats.mem.data_accesses(), 0u);
+  EXPECT_EQ(t.stats.vector_macs, 32u);
+}
+
+TEST(Timing, MarkersRecordCommitOrderAndStats) {
+  Assembler a;
+  a.marker(7);
+  a.li(x(1), 0x100000);
+  a.lw(x(2), x(1), 0);
+  a.marker(8);
+  a.ebreak();
+  Timed t(a);
+  ASSERT_EQ(t.markers.size(), 2u);
+  EXPECT_EQ(t.markers[0].id, 7);
+  EXPECT_EQ(t.markers[1].id, 8);
+  EXPECT_LT(t.markers[0].cycle, t.markers[1].cycle);
+  EXPECT_EQ(t.markers[1].mem.scalar_reads, 1u);
+  EXPECT_GT(t.markers[1].instructions, t.markers[0].instructions);
+}
+
+TEST(Timing, DeterministicAcrossRuns) {
+  auto build = [] {
+    Assembler a;
+    a.li(x(1), 16);
+    a.vsetvli_e32m1(x(0), x(1));
+    a.li(x(2), 0x100000);
+    for (int i = 0; i < 50; ++i) {
+      a.vle32(v(1), x(2));
+      a.vadd_vi(v(2), v(1), 1);
+      a.vse32(v(2), x(2));
+    }
+    a.ebreak();
+    return a;
+  };
+  Assembler a1 = build();
+  Assembler a2 = build();
+  Timed t1(a1);
+  Timed t2(a2);
+  EXPECT_EQ(t1.stats.cycles, t2.stats.cycles);
+  EXPECT_EQ(t1.stats.mem.dram_lines, t2.stats.mem.dram_lines);
+}
+
+TEST(Timing, RunTwiceThrows) {
+  Assembler a;
+  a.ebreak();
+  MainMemory mem;
+  Program p = a.finish();
+  TimingSim sim(p, mem, ProcessorConfig{});
+  (void)sim.run();
+  EXPECT_THROW((void)sim.run(), SimError);
+}
+
+TEST(Timing, InstructionBudgetGuard) {
+  Assembler a;
+  auto loop = a.new_label();
+  a.bind(loop);
+  a.j(loop);
+  MainMemory mem;
+  Program p = a.finish();
+  TimingSim sim(p, mem, ProcessorConfig{});
+  EXPECT_THROW((void)sim.run(1000), SimError);
+}
+
+TEST(Timing, ConfigDescribeMentionsTableOneNumbers) {
+  const std::string text = ProcessorConfig{}.describe();
+  EXPECT_NE(text.find("8-way-issue out-of-order"), std::string::npos);
+  EXPECT_NE(text.find("60-entry ROB"), std::string::npos);
+  EXPECT_NE(text.find("16-entry LSQ"), std::string::npos);
+  EXPECT_NE(text.find("512-bit vector engine"), std::string::npos);
+  EXPECT_NE(text.find("512KB"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace indexmac::timing

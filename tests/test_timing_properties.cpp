@@ -1,0 +1,116 @@
+// Property tests on the timing model: shrinking a resource can never help,
+// and headline results are robust across processor configurations. These
+// guard the model against regressions that would silently invalidate the
+// reproduced figures.
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+#include "core/spmm_problem.h"
+
+namespace indexmac::timing {
+namespace {
+
+using core::Algorithm;
+using core::RunConfig;
+using core::SpmmProblem;
+
+const kernels::GemmDims kDims{24, 96, 48};
+
+std::uint64_t cycles_with(const ProcessorConfig& proc, Algorithm alg,
+                          sparse::Sparsity sp = sparse::kSparsity14) {
+  const auto problem = SpmmProblem::random(kDims, sp, 77);
+  return core::run_exact(problem, RunConfig{.algorithm = alg, .kernel = {.unroll = 4}}, proc)
+      .stats.cycles;
+}
+
+TEST(TimingProperties, SmallerRobNeverFaster) {
+  ProcessorConfig base{};
+  ProcessorConfig small = base;
+  small.scalar.rob_entries = 16;
+  for (const auto alg : {Algorithm::kIndexmac, Algorithm::kRowwiseSpmm})
+    EXPECT_GE(cycles_with(small, alg), cycles_with(base, alg));
+}
+
+TEST(TimingProperties, NarrowerIssueNeverFaster) {
+  ProcessorConfig base{};
+  ProcessorConfig narrow = base;
+  narrow.scalar.issue_width = 2;
+  narrow.scalar.fetch_width = 2;
+  narrow.scalar.commit_width = 2;
+  for (const auto alg : {Algorithm::kIndexmac, Algorithm::kRowwiseSpmm})
+    EXPECT_GE(cycles_with(narrow, alg), cycles_with(base, alg));
+}
+
+TEST(TimingProperties, SmallerVectorQueueNeverFaster) {
+  ProcessorConfig base{};
+  ProcessorConfig small = base;
+  small.vector.queue_entries = 2;
+  for (const auto alg : {Algorithm::kIndexmac, Algorithm::kRowwiseSpmm})
+    EXPECT_GE(cycles_with(small, alg), cycles_with(base, alg));
+}
+
+TEST(TimingProperties, FewerLoadQueuesSlowBothButPreserveTheWin) {
+  // Throttling the vector load queues hurts both kernels (the proposed one
+  // relatively more: its B-tile preload and per-row A/C loads are a larger
+  // fraction of its time once the per-non-zero loads are gone), but the
+  // proposed kernel must stay ahead.
+  ProcessorConfig base{};
+  ProcessorConfig throttled = base;
+  throttled.vector.load_queues = 2;
+  for (const auto alg : {Algorithm::kIndexmac, Algorithm::kRowwiseSpmm})
+    EXPECT_GT(cycles_with(throttled, alg), cycles_with(base, alg));
+  EXPECT_GT(static_cast<double>(cycles_with(throttled, Algorithm::kRowwiseSpmm)) /
+                static_cast<double>(cycles_with(throttled, Algorithm::kIndexmac)),
+            1.2);
+}
+
+TEST(TimingProperties, SlowerDramNeverFaster) {
+  ProcessorConfig base{};
+  ProcessorConfig slow = base;
+  slow.memory.dram_latency = 300;
+  slow.memory.dram_line_occupancy = 21;
+  for (const auto alg : {Algorithm::kIndexmac, Algorithm::kRowwiseSpmm})
+    EXPECT_GT(cycles_with(slow, alg), cycles_with(base, alg));
+}
+
+TEST(TimingProperties, SpeedupHoldsAcrossConfigurations) {
+  // The headline result must not be an artifact of one parameter choice.
+  std::vector<ProcessorConfig> configs(4);
+  configs[1].memory.dram_latency = 200;           // slow memory
+  configs[2].scalar.issue_width = 4;              // narrower core
+  configs[2].scalar.fetch_width = 4;
+  configs[3].vector.mac_latency = 8;              // slower vector MAC pipe
+  for (const auto& proc : configs) {
+    const double speedup = static_cast<double>(cycles_with(proc, Algorithm::kRowwiseSpmm)) /
+                           static_cast<double>(cycles_with(proc, Algorithm::kIndexmac));
+    EXPECT_GT(speedup, 1.25);
+    EXPECT_LT(speedup, 3.0);
+  }
+}
+
+TEST(TimingProperties, DenseBaselineSlowerThanSparse) {
+  // Executing the same logical product densely does all M/N times the MACs.
+  const auto problem = SpmmProblem::random(kDims, sparse::kSparsity14, 78);
+  const ProcessorConfig proc{};
+  const auto dense = core::run_exact(
+      problem, RunConfig{.algorithm = Algorithm::kDenseRowwise, .kernel = {.unroll = 1}}, proc);
+  const auto sparse_run = core::run_exact(
+      problem, RunConfig{.algorithm = Algorithm::kIndexmac, .kernel = {.unroll = 4}}, proc);
+  EXPECT_GT(dense.stats.cycles, sparse_run.stats.cycles);
+}
+
+TEST(TimingProperties, CyclesScaleRoughlyLinearlyWithRows) {
+  const ProcessorConfig proc{};
+  const auto small = SpmmProblem::random({16, 96, 48}, sparse::kSparsity14, 79);
+  const auto big = SpmmProblem::random({64, 96, 48}, sparse::kSparsity14, 79);
+  const auto cs = core::run_exact(
+      small, RunConfig{.algorithm = Algorithm::kIndexmac, .kernel = {.unroll = 4}}, proc);
+  const auto cb = core::run_exact(
+      big, RunConfig{.algorithm = Algorithm::kIndexmac, .kernel = {.unroll = 4}}, proc);
+  const double ratio = static_cast<double>(cb.stats.cycles) / static_cast<double>(cs.stats.cycles);
+  EXPECT_GT(ratio, 2.8);  // 4x rows, minus fixed overheads
+  EXPECT_LT(ratio, 4.6);
+}
+
+}  // namespace
+}  // namespace indexmac::timing

@@ -1,0 +1,122 @@
+// imac-run: assemble and execute a text-assembly program on the functional
+// simulator or the cycle-level timing model.
+//
+// Usage:
+//   imac_run [--timing] [--trace] [--max-steps N] [--dump-regs] file.s
+//
+// The assembly dialect is the library's subset (see isa::disassemble /
+// assemble_text), including the custom vindexmac.vx instruction. Programs
+// halt with ebreak.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "asm/text_assembler.h"
+#include "common/error.h"
+#include "fsim/machine.h"
+#include "fsim/tracer.h"
+#include "timing/timing_sim.h"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: imac_run [--timing] [--trace] [--max-steps N] [--dump-regs] file.s\n");
+}
+
+void dump_registers(const indexmac::ArchState& state) {
+  std::printf("\nregisters:\n");
+  for (unsigned r = 0; r < 32; r += 4) {
+    for (unsigned i = r; i < r + 4; ++i)
+      std::printf("  x%-2u=%-16llx", i, static_cast<unsigned long long>(state.x[i]));
+    std::printf("\n");
+  }
+  std::printf("  vl=%u\n", state.vl);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace indexmac;
+  bool timing = false;
+  bool trace = false;
+  bool dump_regs = false;
+  std::uint64_t max_steps = 100'000'000;
+  const char* path = nullptr;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--timing") == 0) timing = true;
+    else if (std::strcmp(argv[i], "--trace") == 0) trace = true;
+    else if (std::strcmp(argv[i], "--dump-regs") == 0) dump_regs = true;
+    else if (std::strcmp(argv[i], "--max-steps") == 0 && i + 1 < argc)
+      max_steps = std::strtoull(argv[++i], nullptr, 10);
+    else if (argv[i][0] != '-' && path == nullptr) path = argv[i];
+    else {
+      usage();
+      return 2;
+    }
+  }
+  if (path == nullptr) {
+    usage();
+    return 2;
+  }
+
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "imac_run: cannot open %s\n", path);
+    return 1;
+  }
+  std::stringstream source;
+  source << file.rdbuf();
+
+  try {
+    const AssembledText assembled = assemble_text(source.str());
+    std::printf("assembled %zu instructions at 0x%llx\n", assembled.program.size(),
+                static_cast<unsigned long long>(assembled.program.base()));
+
+    MainMemory mem;
+    if (timing) {
+      timing::TimingSim sim(assembled.program, mem, timing::ProcessorConfig{});
+      const timing::TimingStats& stats = sim.run(max_steps);
+      std::printf("cycles: %llu  instructions: %llu  IPC: %.2f\n",
+                  static_cast<unsigned long long>(stats.cycles),
+                  static_cast<unsigned long long>(stats.instructions), stats.ipc());
+      std::printf("vector: %llu instrs (%llu loads, %llu stores, %llu MACs, %llu moves)\n",
+                  static_cast<unsigned long long>(stats.vector_instructions),
+                  static_cast<unsigned long long>(stats.vector_loads),
+                  static_cast<unsigned long long>(stats.vector_stores),
+                  static_cast<unsigned long long>(stats.vector_macs),
+                  static_cast<unsigned long long>(stats.vector_to_scalar_moves));
+      std::printf("memory: %llu data accesses, %llu DRAM lines\n",
+                  static_cast<unsigned long long>(stats.mem.data_accesses()),
+                  static_cast<unsigned long long>(stats.mem.dram_lines));
+      std::printf("dispatch stalls: operand %llu, branch %llu, queue %llu, bandwidth %llu\n",
+                  static_cast<unsigned long long>(stats.dispatch_stalls.scalar_operand),
+                  static_cast<unsigned long long>(stats.dispatch_stalls.branch_shadow),
+                  static_cast<unsigned long long>(stats.dispatch_stalls.queue_full),
+                  static_cast<unsigned long long>(stats.dispatch_stalls.bandwidth));
+    } else {
+      Machine machine(assembled.program, mem);
+      StopReason stop;
+      if (trace) {
+        Tracer tracer(machine);
+        stop = tracer.run(std::cout, max_steps);
+      } else {
+        stop = machine.run(max_steps);
+      }
+      const char* why = stop == StopReason::kEbreak   ? "ebreak"
+                        : stop == StopReason::kEcall  ? "ecall"
+                                                      : "max-steps";
+      std::printf("stopped: %s after %llu instructions\n", why,
+                  static_cast<unsigned long long>(machine.instructions_retired()));
+      if (dump_regs) dump_registers(machine.state());
+    }
+  } catch (const SimError& e) {
+    std::fprintf(stderr, "imac_run: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
