@@ -31,20 +31,37 @@ int main() {
       {"late-layer shape", {128, 576, 49}},
   };
 
+  // Four exact simulations per (sparsity, shape) cell; each shape's problem
+  // instance is built once and shared by its four jobs.
+  core::BatchRunner pool;
+  std::vector<core::BatchJob> jobs;
+  for (const auto sp : {sparse::kSparsity14, sparse::kSparsity24}) {
+    for (const Shape& shape : shapes) {
+      auto problem = std::make_shared<const core::SpmmProblem>(
+          core::SpmmProblem::random(shape.dims, sp, 42));
+      auto add = [&](Algorithm alg, Dataflow df) {
+        const RunConfig config{.algorithm = alg, .kernel = {.unroll = 4, .dataflow = df}};
+        jobs.push_back(core::exact_job(problem, config, proc));
+      };
+      add(Algorithm::kRowwiseSpmm, Dataflow::kAStationary);
+      add(Algorithm::kRowwiseSpmm, Dataflow::kBStationary);
+      add(Algorithm::kRowwiseSpmm, Dataflow::kCStationary);
+      add(Algorithm::kIndexmac, Dataflow::kBStationary);
+    }
+  }
+  print_pool_note(jobs.size(), pool);
+  const auto results = core::run_batch(pool, jobs);
+
+  std::size_t cursor = 0;
   for (const auto sp : {sparse::kSparsity14, sparse::kSparsity24}) {
     TextTable table;
     table.set_header({"shape", "GEMM (RxKxN)", "A-stationary", "B-stationary", "C-stationary",
                       "Proposed (B-stat)"});
     for (const Shape& shape : shapes) {
-      const auto problem = core::SpmmProblem::random(shape.dims, sp, 42);
-      auto cycles = [&](Algorithm alg, Dataflow df) {
-        const RunConfig config{.algorithm = alg, .kernel = {.unroll = 4, .dataflow = df}};
-        return core::run_exact(problem, config, proc).stats.cycles;
-      };
-      const auto a = cycles(Algorithm::kRowwiseSpmm, Dataflow::kAStationary);
-      const auto b = cycles(Algorithm::kRowwiseSpmm, Dataflow::kBStationary);
-      const auto c = cycles(Algorithm::kRowwiseSpmm, Dataflow::kCStationary);
-      const auto p = cycles(Algorithm::kIndexmac, Dataflow::kBStationary);
+      const auto a = results[cursor++].stats.cycles;
+      const auto b = results[cursor++].stats.cycles;
+      const auto c = results[cursor++].stats.cycles;
+      const auto p = results[cursor++].stats.cycles;
       table.add_row({shape.label, dims_label(shape.dims), fmt_count(a), fmt_count(b),
                      fmt_count(c), fmt_count(p)});
     }

@@ -48,11 +48,21 @@ int main() {
     variants.push_back({"slow vector->scalar path", p});
   }
 
+  // Every (sparsity, processor variant) cell is an independent sampled
+  // measurement; sweep them all in one batch.
+  core::BatchRunner pool;
+  std::vector<LayerQuery> queries;
+  for (const auto sp : {sparse::kSparsity14, sparse::kSparsity24})
+    for (const Variant& v : variants) queries.push_back({dims, sp, v.proc});
+  print_pool_note(queries.size() * 2, pool);
+  const auto measured = measure_layers(pool, queries);
+
+  std::size_t cursor = 0;
   for (const auto sp : {sparse::kSparsity14, sparse::kSparsity24}) {
     TextTable table;
     table.set_header({"configuration", "Row-Wise-SpMM", "Proposed", "speedup"});
     for (const Variant& v : variants) {
-      const auto m = measure_layer(dims, sp, v.proc);
+      const auto& m = measured[cursor++];
       table.add_row({v.label, fmt_count(static_cast<std::uint64_t>(m.rowwise_cycles)),
                      fmt_count(static_cast<std::uint64_t>(m.proposed_cycles)),
                      fmt_speedup(m.speedup())});

@@ -15,21 +15,36 @@ int main() {
   print_section("Ablation: loop unrolling (four output rows per iteration, as in [17])");
 
   const kernels::GemmDims dims{64, 576, 98};
+  const unsigned unrolls[] = {1u, 2u, 4u};
+
+  // Both kernels at every unroll factor, per sparsity, in one batch; each
+  // sparsity's jobs share one problem instance.
+  core::BatchRunner pool;
+  std::vector<core::BatchJob> jobs;
   for (const auto sp : {sparse::kSparsity14, sparse::kSparsity24}) {
-    const auto problem = core::SpmmProblem::random(dims, sp, 7);
+    auto problem =
+        std::make_shared<const core::SpmmProblem>(core::SpmmProblem::random(dims, sp, 7));
+    for (const unsigned unroll : unrolls) {
+      jobs.push_back(core::exact_job(
+          problem, RunConfig{.algorithm = Algorithm::kRowwiseSpmm, .kernel = {.unroll = unroll}},
+          proc));
+      jobs.push_back(core::exact_job(
+          problem, RunConfig{.algorithm = Algorithm::kIndexmac, .kernel = {.unroll = unroll}},
+          proc));
+    }
+  }
+  print_pool_note(jobs.size(), pool);
+  const auto results = core::run_batch(pool, jobs);
+
+  std::size_t cursor = 0;
+  for (const auto sp : {sparse::kSparsity14, sparse::kSparsity24}) {
     TextTable table;
     table.set_header({"unroll", "Row-Wise-SpMM cycles", "Proposed cycles", "speedup"});
-    for (const unsigned unroll : {1u, 2u, 4u}) {
-      const auto r2 = core::run_exact(
-          problem, RunConfig{.algorithm = Algorithm::kRowwiseSpmm, .kernel = {.unroll = unroll}},
-          proc);
-      const auto r3 = core::run_exact(
-          problem, RunConfig{.algorithm = Algorithm::kIndexmac, .kernel = {.unroll = unroll}},
-          proc);
+    for (const unsigned unroll : unrolls) {
+      const auto& r2 = results[cursor++];
+      const auto& r3 = results[cursor++];
       table.add_row({std::to_string(unroll), fmt_count(r2.stats.cycles),
-                     fmt_count(r3.stats.cycles),
-                     fmt_speedup(static_cast<double>(r2.stats.cycles) /
-                                 static_cast<double>(r3.stats.cycles))});
+                     fmt_count(r3.stats.cycles), fmt_speedup(r2.cycles / r3.cycles)});
     }
     std::printf("Sparsity %d:%d on GEMM %s\n%s\n", sp.n, sp.m, dims_label(dims).c_str(),
                 table.to_string().c_str());

@@ -1,11 +1,15 @@
 // Shared helpers for the experiment benches (Fig. 4/5/6 + ablations).
+// Sweeps go through core::run_batch so multi-point figures use every core;
+// pin the worker count with INDEXMAC_THREADS=N when comparing wall-clock.
 #pragma once
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "cnn/conv_layer.h"
 #include "common/format.h"
+#include "core/batch.h"
 #include "core/runner.h"
 #include "core/spmm_problem.h"
 
@@ -24,23 +28,50 @@ struct LayerMeasurement {
   }
 };
 
-/// Measures one layer GEMM with the sampled runner (both algorithms use the
-/// B-stationary dataflow and 4-way unrolling, as in the paper).
-inline LayerMeasurement measure_layer(const kernels::GemmDims& dims, sparse::Sparsity sp,
-                                      const timing::ProcessorConfig& proc,
-                                      const core::SampleParams& params = core::SampleParams{}) {
-  using core::Algorithm;
-  using core::RunConfig;
-  LayerMeasurement out;
-  const RunConfig rowwise{.algorithm = Algorithm::kRowwiseSpmm, .kernel = {.unroll = 4}};
-  const RunConfig proposed{.algorithm = Algorithm::kIndexmac, .kernel = {.unroll = 4}};
-  const auto r2 = core::run_sampled(dims, sp, rowwise, proc, params);
-  const auto r3 = core::run_sampled(dims, sp, proposed, proc, params);
-  out.rowwise_cycles = r2.cycles;
-  out.proposed_cycles = r3.cycles;
-  out.rowwise_accesses = r2.data_accesses;
-  out.proposed_accesses = r3.data_accesses;
+/// The paper's kernel configurations: B-stationary dataflow, 4-way
+/// unrolling, for Row-Wise-SpMM (Algorithm 2) and Proposed (Algorithm 3).
+inline core::RunConfig rowwise_config() {
+  return {.algorithm = core::Algorithm::kRowwiseSpmm, .kernel = {.unroll = 4}};
+}
+inline core::RunConfig proposed_config() {
+  return {.algorithm = core::Algorithm::kIndexmac, .kernel = {.unroll = 4}};
+}
+
+/// One requested layer measurement: a GEMM shape at a sparsity pattern,
+/// optionally under a non-default processor configuration.
+struct LayerQuery {
+  kernels::GemmDims dims;
+  sparse::Sparsity sp;
+  timing::ProcessorConfig proc;
+};
+
+/// Measures many layer GEMMs concurrently with the sampled runner (two
+/// jobs per query, one per algorithm) on `runner`'s pool. Results
+/// index-align with `queries` and are identical to serial measurement.
+inline std::vector<LayerMeasurement> measure_layers(
+    core::BatchRunner& runner, const std::vector<LayerQuery>& queries,
+    const core::SampleParams& params = core::SampleParams{}) {
+  std::vector<core::BatchJob> jobs;
+  jobs.reserve(queries.size() * 2);
+  for (const LayerQuery& q : queries) {
+    jobs.push_back(core::sampled_job(q.dims, q.sp, rowwise_config(), q.proc, params));
+    jobs.push_back(core::sampled_job(q.dims, q.sp, proposed_config(), q.proc, params));
+  }
+  const auto results = core::run_batch(runner, jobs);
+
+  std::vector<LayerMeasurement> out(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    out[i].rowwise_cycles = results[2 * i].cycles;
+    out[i].proposed_cycles = results[2 * i + 1].cycles;
+    out[i].rowwise_accesses = results[2 * i].data_accesses;
+    out[i].proposed_accesses = results[2 * i + 1].data_accesses;
+  }
   return out;
+}
+
+/// "(x jobs on y threads)" banner so sweep parallelism is visible.
+inline void print_pool_note(std::size_t jobs, const core::BatchRunner& runner) {
+  std::printf("(%zu measurement jobs on %u worker threads)\n\n", jobs, runner.thread_count());
 }
 
 /// Short "RxKxN" label for a GEMM.

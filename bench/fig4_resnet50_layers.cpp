@@ -2,7 +2,8 @@
 // Row-Wise-SpMM for every unique conv-layer GEMM of ResNet50, at 1:4 and
 // 2:4 structured sparsity. Speedups are normalized to Row-Wise-SpMM, as in
 // the paper; both kernels use the B-stationary dataflow with 4-way
-// unrolling and L=16 preloaded B rows.
+// unrolling and L=16 preloaded B rows. All layer measurements run
+// concurrently on a BatchRunner pool.
 #include <cstdio>
 
 #include "bench_util.h"
@@ -19,6 +20,17 @@ int main() {
   std::printf("Paper reports: 1:4 sparsity 1.60x-2.15x, 2:4 sparsity 1.63x-1.99x,\n"
               "with the speedup slightly decreasing toward the later (small-B) layers.\n\n");
 
+  // Both sparsities of one layer sit adjacently in the query list.
+  core::BatchRunner pool;
+  std::vector<LayerQuery> queries;
+  queries.reserve(layers.size() * 2);
+  for (const auto& layer : layers) {
+    queries.push_back({layer.dims, sparse::kSparsity14, proc});
+    queries.push_back({layer.dims, sparse::kSparsity24, proc});
+  }
+  print_pool_note(queries.size() * 2, pool);
+  const auto measured = measure_layers(pool, queries);
+
   TextTable table;
   table.set_header({"#", "layer", "GEMM (RxKxN)", "count", "speedup 1:4", "speedup 2:4"});
 
@@ -26,8 +38,8 @@ int main() {
   double geo14 = 0, geo24 = 0;
   int idx = 0;
   for (const auto& layer : layers) {
-    const auto m14 = measure_layer(layer.dims, sparse::kSparsity14, proc);
-    const auto m24 = measure_layer(layer.dims, sparse::kSparsity24, proc);
+    const auto& m14 = measured[static_cast<std::size_t>(idx) * 2];
+    const auto& m24 = measured[static_cast<std::size_t>(idx) * 2 + 1];
     table.add_row({std::to_string(++idx), layer.representative.name, dims_label(layer.dims),
                    std::to_string(layer.count), fmt_speedup(m14.speedup()),
                    fmt_speedup(m24.speedup())});

@@ -1,13 +1,14 @@
 // Sparsity explorer: sweep N:M patterns on a user-chosen GEMM and print
 // the speedup and memory-access profile of the vindexmac kernel. Extends
-// the paper's 1:4 / 2:4 evaluation to arbitrary patterns.
+// the paper's 1:4 / 2:4 evaluation to arbitrary patterns. The whole sweep
+// runs as one multi-core batch (set INDEXMAC_THREADS to pin the pool).
 //
 //   ./build/examples/sparsity_explorer [rows k cols]
 #include <cstdio>
 #include <cstdlib>
 
 #include "common/format.h"
-#include "core/runner.h"
+#include "core/batch.h"
 
 int main(int argc, char** argv) {
   using namespace indexmac;
@@ -24,15 +25,26 @@ int main(int argc, char** argv) {
               dims.rows_a, dims.k, dims.k, dims.cols_b);
 
   const timing::ProcessorConfig proc{};
+  const sparse::Sparsity sweep[] = {sparse::Sparsity{1, 4}, sparse::Sparsity{2, 4},
+                                    sparse::Sparsity{1, 2}, sparse::Sparsity{2, 8},
+                                    sparse::Sparsity{4, 8}};
+  const RunConfig rowwise{.algorithm = Algorithm::kRowwiseSpmm, .kernel = {.unroll = 4}};
+  const RunConfig proposed{.algorithm = Algorithm::kIndexmac, .kernel = {.unroll = 4}};
+
+  std::vector<core::BatchJob> jobs;
+  for (const auto sp : sweep) {
+    jobs.push_back(core::sampled_job(dims, sp, rowwise, proc));
+    jobs.push_back(core::sampled_job(dims, sp, proposed, proc));
+  }
+  const auto results = core::run_batch(jobs);
+
   TextTable table;
   table.set_header({"sparsity", "density", "Row-Wise-SpMM cyc", "Proposed cyc", "speedup",
                     "accesses ratio"});
-  for (const auto sp : {sparse::Sparsity{1, 4}, sparse::Sparsity{2, 4}, sparse::Sparsity{1, 2},
-                        sparse::Sparsity{2, 8}, sparse::Sparsity{4, 8}}) {
-    const RunConfig rowwise{.algorithm = Algorithm::kRowwiseSpmm, .kernel = {.unroll = 4}};
-    const RunConfig proposed{.algorithm = Algorithm::kIndexmac, .kernel = {.unroll = 4}};
-    const auto r2 = core::run_sampled(dims, sp, rowwise, proc);
-    const auto r3 = core::run_sampled(dims, sp, proposed, proc);
+  std::size_t cursor = 0;
+  for (const auto sp : sweep) {
+    const auto& r2 = results[cursor++];
+    const auto& r3 = results[cursor++];
     table.add_row({std::to_string(sp.n) + ":" + std::to_string(sp.m),
                    fmt_fixed(sp.density(), 2), fmt_count(static_cast<std::uint64_t>(r2.cycles)),
                    fmt_count(static_cast<std::uint64_t>(r3.cycles)),

@@ -1,0 +1,136 @@
+#include "core/batch.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "common/error.h"
+
+namespace indexmac::core {
+
+BatchRunner::BatchRunner(unsigned threads) {
+  if (threads == 0) threads = default_thread_count();
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+BatchRunner::~BatchRunner() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+unsigned BatchRunner::default_thread_count() {
+  if (const char* env = std::getenv("INDEXMAC_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<unsigned>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void BatchRunner::enqueue(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    IMAC_CHECK(!stopping_, "BatchRunner: submit after shutdown");
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void BatchRunner::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ && drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // packaged_task routes any exception into the job's future, so a
+    // throwing job cannot take the worker (or the pool) down.
+    job();
+  }
+}
+
+BatchJob sampled_job(const kernels::GemmDims& dims, sparse::Sparsity sp, const RunConfig& config,
+                     const timing::ProcessorConfig& processor, const SampleParams& sample) {
+  BatchJob job;
+  job.mode = BatchJob::Mode::kSampled;
+  job.dims = dims;
+  job.sp = sp;
+  job.config = config;
+  job.processor = processor;
+  job.sample = sample;
+  return job;
+}
+
+BatchJob exact_job(std::shared_ptr<const SpmmProblem> problem, const RunConfig& config,
+                   const timing::ProcessorConfig& processor) {
+  IMAC_CHECK(problem != nullptr, "exact_job: null problem");
+  BatchJob job;
+  job.mode = BatchJob::Mode::kExact;
+  job.dims = problem->dims;
+  job.sp = problem->sp;
+  job.config = config;
+  job.processor = processor;
+  job.problem = std::move(problem);
+  return job;
+}
+
+BatchResult run_job(const BatchJob& job) {
+  BatchResult out;
+  switch (job.mode) {
+    case BatchJob::Mode::kExact: {
+      // Materialize the problem inside the job so batched and serial
+      // execution see byte-identical inputs for a given seed.
+      std::shared_ptr<const SpmmProblem> problem = job.problem;
+      if (!problem)
+        problem = std::make_shared<const SpmmProblem>(
+            SpmmProblem::random(job.dims, job.sp, job.seed));
+      const ExactResult r = run_exact(*problem, job.config, job.processor);
+      out.cycles = static_cast<double>(r.stats.cycles);
+      out.data_accesses = r.data_accesses();
+      out.stats = r.stats;
+      break;
+    }
+    case BatchJob::Mode::kSampled: {
+      const SampledResult r = run_sampled(job.dims, job.sp, job.config, job.processor, job.sample);
+      out.cycles = r.cycles;
+      out.data_accesses = r.data_accesses;
+      out.stats = r.sample_stats;
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<BatchResult> run_batch(BatchRunner& runner, const std::vector<BatchJob>& jobs) {
+  std::vector<std::future<BatchResult>> futures;
+  futures.reserve(jobs.size());
+  for (const BatchJob& job : jobs)
+    futures.push_back(runner.submit([job] { return run_job(job); }));
+
+  std::vector<BatchResult> results(jobs.size());
+  std::exception_ptr first_error;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    try {
+      results[i] = futures[i].get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+std::vector<BatchResult> run_batch(const std::vector<BatchJob>& jobs, unsigned threads) {
+  BatchRunner runner(threads);
+  return run_batch(runner, jobs);
+}
+
+}  // namespace indexmac::core

@@ -1,0 +1,128 @@
+// Parallel batch execution of independent simulation runs.
+//
+// Every simulated execution is self-contained — a Machine/TimingSim owns
+// its MainMemory and there is no mutable global state anywhere in the
+// stack — so sweeps over (shape x sparsity x config) are embarrassingly
+// parallel. BatchRunner is a fixed-size thread pool; run_batch() executes a
+// vector of BatchJob descriptions on it and returns per-job cycle and
+// memory-access stats in submission order, bit-identical to running the
+// same jobs serially (each job re-derives its inputs from a deterministic
+// seed, never from shared state).
+//
+//   BatchRunner pool;  // one worker per hardware thread
+//   std::vector<BatchJob> jobs = {...};
+//   const auto results = run_batch(pool, jobs);  // results[i] <-> jobs[i]
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "core/runner.h"
+#include "core/spmm_problem.h"
+
+namespace indexmac::core {
+
+/// Fixed-size worker pool for independent jobs. Tasks submitted after a
+/// task throws still run; the exception is delivered through that task's
+/// future, so one bad job can never wedge the pool.
+class BatchRunner {
+ public:
+  /// Spawns `threads` workers; 0 means default_thread_count().
+  explicit BatchRunner(unsigned threads = 0);
+
+  /// Drains outstanding work, then joins the workers.
+  ~BatchRunner();
+
+  BatchRunner(const BatchRunner&) = delete;
+  BatchRunner& operator=(const BatchRunner&) = delete;
+
+  [[nodiscard]] unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Pool size used for `threads == 0`: the INDEXMAC_THREADS environment
+  /// variable if set (so benches can be pinned without a rebuild),
+  /// otherwise std::thread::hardware_concurrency(), never less than 1.
+  [[nodiscard]] static unsigned default_thread_count();
+
+  /// Schedules any callable; the returned future carries its result or
+  /// exception.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task]() mutable { (*task)(); });
+    return future;
+  }
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// One independent timing measurement, described by value so it can be
+/// executed on any worker thread at any time.
+struct BatchJob {
+  enum class Mode {
+    kExact,    ///< run_exact on a problem built from (dims, sp, seed)
+    kSampled,  ///< run_sampled on (dims, sp)
+  };
+
+  Mode mode = Mode::kSampled;
+  kernels::GemmDims dims;
+  sparse::Sparsity sp = sparse::kSparsity14;
+  RunConfig config;
+  timing::ProcessorConfig processor;
+  SampleParams sample;     ///< kSampled only
+  std::uint32_t seed = 1;  ///< kExact only: RNG seed for SpmmProblem::random
+
+  /// kExact only: pre-built problem shared across jobs (overrides `seed`;
+  /// e.g. the ablations compare several configs on one problem instance).
+  std::shared_ptr<const SpmmProblem> problem;
+};
+
+/// Shorthand constructors for the two job modes.
+[[nodiscard]] BatchJob sampled_job(const kernels::GemmDims& dims, sparse::Sparsity sp,
+                                   const RunConfig& config,
+                                   const timing::ProcessorConfig& processor,
+                                   const SampleParams& sample = SampleParams{});
+[[nodiscard]] BatchJob exact_job(std::shared_ptr<const SpmmProblem> problem,
+                                 const RunConfig& config,
+                                 const timing::ProcessorConfig& processor);
+
+/// Per-job measurement. `cycles` and `data_accesses` are the headline
+/// metrics of both run modes; `stats` holds the full TimingStats of the
+/// run (for kSampled, of the miniature instrumented run).
+struct BatchResult {
+  double cycles = 0;
+  std::uint64_t data_accesses = 0;
+  timing::TimingStats stats;
+};
+
+/// Executes one job synchronously on the calling thread.
+[[nodiscard]] BatchResult run_job(const BatchJob& job);
+
+/// Runs all jobs on the pool. results[i] corresponds to jobs[i] regardless
+/// of completion order or thread count. If jobs threw, the first failure
+/// (in submission order) is rethrown after every job has finished.
+[[nodiscard]] std::vector<BatchResult> run_batch(BatchRunner& runner,
+                                                 const std::vector<BatchJob>& jobs);
+
+/// Convenience overload running on a temporary pool (0 = default size).
+[[nodiscard]] std::vector<BatchResult> run_batch(const std::vector<BatchJob>& jobs,
+                                                 unsigned threads = 0);
+
+}  // namespace indexmac::core

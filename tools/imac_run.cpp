@@ -22,9 +22,19 @@
 
 namespace {
 
-void usage() {
-  std::fprintf(stderr,
-               "usage: imac_run [--timing] [--trace] [--max-steps N] [--dump-regs] file.s\n");
+// Requested help goes to stdout (exit 0); usage errors go to stderr.
+void usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: imac_run [--timing] [--trace] [--max-steps N] [--dump-regs] file.s\n"
+               "\n"
+               "Assembles file.s (the library's RISC-V subset, including vindexmac.vx)\n"
+               "and executes it; programs halt with ebreak.\n"
+               "\n"
+               "  --timing       run on the cycle-level timing model (default: functional)\n"
+               "  --trace        print each executed instruction (functional mode)\n"
+               "  --max-steps N  stop after N instructions (default 100000000)\n"
+               "  --dump-regs    print architectural registers on exit (functional mode)\n"
+               "  -h, --help     show this help and exit\n");
 }
 
 void dump_registers(const indexmac::ArchState& state) {
@@ -48,19 +58,23 @@ int main(int argc, char** argv) {
   const char* path = nullptr;
 
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--timing") == 0) timing = true;
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      usage(stdout);
+      return 0;
+    }
+    else if (std::strcmp(argv[i], "--timing") == 0) timing = true;
     else if (std::strcmp(argv[i], "--trace") == 0) trace = true;
     else if (std::strcmp(argv[i], "--dump-regs") == 0) dump_regs = true;
     else if (std::strcmp(argv[i], "--max-steps") == 0 && i + 1 < argc)
       max_steps = std::strtoull(argv[++i], nullptr, 10);
     else if (argv[i][0] != '-' && path == nullptr) path = argv[i];
     else {
-      usage();
+      usage(stderr);
       return 2;
     }
   }
   if (path == nullptr) {
-    usage();
+    usage(stderr);
     return 2;
   }
 
