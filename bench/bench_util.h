@@ -7,11 +7,11 @@
 #include <string>
 #include <vector>
 
-#include "cnn/conv_layer.h"
 #include "common/format.h"
 #include "core/batch.h"
 #include "core/runner.h"
 #include "core/spmm_problem.h"
+#include "workloads/workloads.h"
 
 namespace indexmac::bench {
 

@@ -2,8 +2,9 @@
 // Row-Wise-SpMM for ResNet50, DenseNet121 and InceptionV3 at 1:4 and 2:4
 // structured sparsity. Network time = sum over conv layers of per-layer
 // cycles (unique GEMM shapes measured once, weighted by multiplicity).
-// Every layer of every network at both sparsities is one batch job, so
-// the whole figure is measured in a single multi-core sweep.
+// Layer lists come from the workload registry; every layer of every
+// network at both sparsities is one batch job, so the whole figure is
+// measured in a single multi-core sweep.
 #include <cstdio>
 
 #include "bench_util.h"
@@ -20,7 +21,7 @@ struct NetworkResult {
 
 /// Weighted per-network totals from the index-aligned measurement slice
 /// starting at `first`.
-NetworkResult accumulate_network(const std::vector<cnn::LayerGemm>& layers,
+NetworkResult accumulate_network(const std::vector<workloads::Workload>& layers,
                                  const std::vector<LayerMeasurement>& measured,
                                  std::size_t first) {
   NetworkResult total;
@@ -39,16 +40,15 @@ int main() {
   print_section("Fig. 5: total-execution-time speedup per CNN (Proposed vs Row-Wise-SpMM)");
   std::printf("Paper reports: average speedup 1.95x at 1:4 sparsity, 1.88x at 2:4 sparsity.\n\n");
 
-  const cnn::CnnModel models[] = {cnn::resnet50(), cnn::densenet121(), cnn::inceptionv3()};
+  const char* suite_names[] = {"resnet50", "densenet121", "inceptionv3"};
 
-  // One flat query list: per model, all unique layers at 1:4 then at 2:4.
+  // One flat query list: per suite, all unique layers at 1:4 then at 2:4.
   core::BatchRunner pool;
   std::vector<LayerQuery> queries;
-  std::vector<std::vector<cnn::LayerGemm>> model_layers;
-  for (const auto& model : models) {
-    model_layers.push_back(cnn::unique_gemms(model));
+  for (const char* name : suite_names) {
+    const workloads::Suite& suite = workloads::suite(name);
     for (const auto sp : {sparse::kSparsity14, sparse::kSparsity24})
-      for (const auto& layer : model_layers.back()) queries.push_back({layer.dims, sp, proc});
+      for (const auto& layer : suite.workloads) queries.push_back({layer.dims, sp, proc});
   }
   print_pool_note(queries.size() * 2, pool);
   const auto measured = measure_layers(pool, queries);
@@ -58,15 +58,15 @@ int main() {
   double sum14 = 0, sum24 = 0;
   int n = 0;
   std::size_t cursor = 0;
-  for (std::size_t mi = 0; mi < std::size(models); ++mi) {
-    const auto& model = models[mi];
-    const auto& layers = model_layers[mi];
+  for (const char* name : suite_names) {
+    const workloads::Suite& suite = workloads::suite(name);
+    const auto& layers = suite.workloads;
     const NetworkResult r14 = accumulate_network(layers, measured, cursor);
     const NetworkResult r24 = accumulate_network(layers, measured, cursor + layers.size());
     cursor += layers.size() * 2;
     const double s14 = r14.rowwise / r14.proposed;
     const double s24 = r24.rowwise / r24.proposed;
-    table.add_row({model.name, std::to_string(model.layers.size()), fmt_speedup(s14),
+    table.add_row({suite.display_name, std::to_string(suite.source_layers), fmt_speedup(s14),
                    fmt_speedup(s24)});
     sum14 += s14;
     sum24 += s24;

@@ -1,7 +1,8 @@
 // Figure 6: total memory accesses of the proposed kernel normalized to
 // Row-Wise-SpMM, per CNN, at 1:4 and 2:4 structured sparsity. Counts are
 // data-side memory operations (vector loads/stores; the kernels make no
-// scalar data accesses), summed over all conv layers.
+// scalar data accesses), summed over all conv layers of the registry's
+// CNN suites.
 //
 // The counts are structure-determined (kernels::predict_*_footprint);
 // tests/test_runner.cpp verifies them against dynamic simulation.
@@ -19,9 +20,9 @@ struct AccessTotals {
   std::uint64_t proposed = 0;
 };
 
-AccessTotals count_network(const cnn::CnnModel& model, sparse::Sparsity sp) {
+AccessTotals count_suite(const workloads::Suite& suite, sparse::Sparsity sp) {
   AccessTotals total;
-  for (const auto& layer : cnn::unique_gemms(model)) {
+  for (const auto& layer : suite.workloads) {
     AddressAllocator alloc;
     const auto layout = kernels::make_layout(layer.dims, sp, 16, alloc);
     const auto fp2 = kernels::predict_rowwise_footprint(layout);
@@ -32,12 +33,12 @@ AccessTotals count_network(const cnn::CnnModel& model, sparse::Sparsity sp) {
   return total;
 }
 
-/// The counts are analytic (no simulation), but each (network, sparsity)
+/// The counts are analytic (no simulation), but each (suite, sparsity)
 /// cell is still independent work — run them through the pool's generic
 /// task interface.
-std::future<AccessTotals> count_async(core::BatchRunner& pool, const cnn::CnnModel& model,
+std::future<AccessTotals> count_async(core::BatchRunner& pool, const workloads::Suite& suite,
                                       sparse::Sparsity sp) {
-  return pool.submit([&model, sp] { return count_network(model, sp); });
+  return pool.submit([&suite, sp] { return count_suite(suite, sp); });
 }
 
 }  // namespace
@@ -53,20 +54,21 @@ int main() {
                     "reduction 2:4"});
   double sum14 = 0, sum24 = 0;
   int n = 0;
-  const cnn::CnnModel models[] = {cnn::resnet50(), cnn::densenet121(), cnn::inceptionv3()};
+  const char* suite_names[] = {"resnet50", "densenet121", "inceptionv3"};
   indexmac::core::BatchRunner pool;
   std::vector<std::future<AccessTotals>> f14, f24;
-  for (const auto& model : models) {
-    f14.push_back(count_async(pool, model, sparse::kSparsity14));
-    f24.push_back(count_async(pool, model, sparse::kSparsity24));
+  for (const char* name : suite_names) {
+    const workloads::Suite& suite = workloads::suite(name);
+    f14.push_back(count_async(pool, suite, sparse::kSparsity14));
+    f24.push_back(count_async(pool, suite, sparse::kSparsity24));
   }
-  for (std::size_t mi = 0; mi < std::size(models); ++mi) {
-    const auto& model = models[mi];
+  for (std::size_t mi = 0; mi < std::size(suite_names); ++mi) {
+    const workloads::Suite& suite = workloads::suite(suite_names[mi]);
     const AccessTotals t14 = f14[mi].get();
     const AccessTotals t24 = f24[mi].get();
     const double n14 = static_cast<double>(t14.proposed) / static_cast<double>(t14.rowwise);
     const double n24 = static_cast<double>(t24.proposed) / static_cast<double>(t24.rowwise);
-    table.add_row({model.name, fmt_fixed(n14, 3), fmt_fixed((1 - n14) * 100, 1) + "%",
+    table.add_row({suite.display_name, fmt_fixed(n14, 3), fmt_fixed((1 - n14) * 100, 1) + "%",
                    fmt_fixed(n24, 3), fmt_fixed((1 - n24) * 100, 1) + "%"});
     sum14 += n14;
     sum24 += n24;

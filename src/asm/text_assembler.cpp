@@ -340,4 +340,46 @@ AssembledText assemble_text(const std::string& source, std::uint64_t base) {
   return parser.finish();
 }
 
+std::string program_to_source(const Program& program) {
+  // PC-relative instructions carry their target as a byte offset; collect
+  // the absolute targets and name them in address order.
+  const auto is_pc_relative = [](isa::Op op) { return isa::is_branch(op) || op == isa::Op::kJal; };
+  const std::vector<isa::Instruction>& decoded = program.decoded();
+  std::map<std::uint64_t, unsigned> labels;  // target address -> label number
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    if (!is_pc_relative(decoded[i].op)) continue;
+    const std::uint64_t target =
+        program.base() + 4 * i + static_cast<std::uint64_t>(static_cast<std::int64_t>(decoded[i].imm));
+    IMAC_CHECK(target >= program.base() && target <= program.end() && (target & 3) == 0,
+               "program_to_source: branch target outside the program");
+    labels.emplace(target, 0);
+  }
+  unsigned n = 0;
+  for (auto& [addr, number] : labels) number = n++;
+  const auto label_name = [](unsigned number) {
+    std::string name = "L";
+    name += std::to_string(number);
+    return name;
+  };
+
+  std::string out;
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    const std::uint64_t pc = program.base() + 4 * i;
+    if (const auto it = labels.find(pc); it != labels.end())
+      out += label_name(it->second) + ":\n";
+    std::string line = isa::disassemble(decoded[i]);
+    if (is_pc_relative(decoded[i].op)) {
+      // The offset is always the trailing operand; swap it for the label.
+      const std::uint64_t target =
+          pc + static_cast<std::uint64_t>(static_cast<std::int64_t>(decoded[i].imm));
+      line = line.substr(0, line.rfind(' ') + 1) + label_name(labels.at(target));
+    }
+    out += "  " + line + "\n";
+  }
+  // A branch may target the address just past the last instruction.
+  if (const auto it = labels.find(program.end()); it != labels.end())
+    out += label_name(it->second) + ":\n";
+  return out;
+}
+
 }  // namespace indexmac

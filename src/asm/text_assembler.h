@@ -23,4 +23,11 @@ struct AssembledText {
 [[nodiscard]] AssembledText assemble_text(const std::string& source,
                                           std::uint64_t base = 0x1000);
 
+/// Renders `program` as re-assemblable source: branch/jal targets become
+/// synthesized "L<n>" labels (the text assembler accepts only symbolic
+/// targets), everything else is plain disassembly. For any program,
+/// assemble_text(program_to_source(p), p.base()) reproduces the original
+/// instruction words bit-exactly (tests/test_kernel_roundtrip.cpp).
+[[nodiscard]] std::string program_to_source(const Program& program);
+
 }  // namespace indexmac

@@ -75,4 +75,10 @@ struct LayerGemm {
 [[nodiscard]] CnnModel densenet121();   ///< 120 conv layers, 224x224 input
 [[nodiscard]] CnnModel inceptionv3();   ///< 94 conv layers, 299x299 input
 
+/// MobileNetV1 (width 1.0, 224x224): the depthwise/pointwise workload of
+/// the related structured-sparsity evaluations. Depthwise 3x3 layers are
+/// modeled as a [channels x 9] x [9 x out_hw] GEMM proxy (the stacked
+/// per-channel filters; identical MAC count to the real grouped conv).
+[[nodiscard]] CnnModel mobilenetv1();   ///< 27 conv layers
+
 }  // namespace indexmac::cnn

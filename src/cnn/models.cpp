@@ -103,6 +103,42 @@ CnnModel resnet50() {
   return CnnModel{"ResNet50", net.take()};
 }
 
+CnnModel mobilenetv1() {
+  Net net(3, 224);
+  net.conv("conv1", 32, 3, 2, 1);  // 224 -> 112
+
+  // One depthwise-separable block: a 3x3 depthwise conv (modeled as the
+  // [C x 9] GEMM proxy of its stacked per-channel filters, see
+  // conv_layer.h) followed by a 1x1 pointwise conv to out_c channels.
+  unsigned block = 0;
+  auto separable = [&net, &block](unsigned out_c, unsigned stride) {
+    const std::string base = "block" + std::to_string(++block);
+    const unsigned c = net.channels();
+    const unsigned hw = net.height();
+    ConvLayer dw{base + ".dw", 1, c, 3, 3, stride, 1, 1, hw, hw};
+    const unsigned out_hw = dw.out_h();
+    net.add_raw(std::move(dw));
+    net.set_channels(c);
+    // Advance the tracked geometry through the depthwise stride, then the
+    // pointwise conv consumes the downsampled map.
+    ConvLayer pw{base + ".pw", c, out_c, 1, 1, 1, 0, 0, out_hw, out_hw};
+    net.add_raw(std::move(pw));
+    net.set_channels(out_c);
+    while (net.height() > out_hw) net.pool(1, 2, 0);  // geometry bookkeeping only
+  };
+
+  separable(64, 1);
+  separable(128, 2);   // -> 56
+  separable(128, 1);
+  separable(256, 2);   // -> 28
+  separable(256, 1);
+  separable(512, 2);   // -> 14
+  for (int i = 0; i < 5; ++i) separable(512, 1);
+  separable(1024, 2);  // -> 7
+  separable(1024, 1);
+  return CnnModel{"MobileNetV1", net.take()};
+}
+
 CnnModel densenet121() {
   Net net(3, 224);
   net.conv("features.conv0", 64, 7, 2, 3);

@@ -1,5 +1,6 @@
 #include "core/batch.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <utility>
 
@@ -25,8 +26,17 @@ BatchRunner::~BatchRunner() {
 
 unsigned BatchRunner::default_thread_count() {
   if (const char* env = std::getenv("INDEXMAC_THREADS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed > 0) return static_cast<unsigned>(parsed);
+    // Reject malformed values loudly: a silently-ignored typo would run a
+    // benchmark at an unintended width and corrupt every wall-clock
+    // comparison made with it.
+    char* end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(env, &end, 10);
+    const bool parsed_fully = end != env && *end == '\0' && errno == 0;
+    IMAC_CHECK(parsed_fully && parsed >= 1 && parsed <= static_cast<long>(kMaxThreads),
+               "INDEXMAC_THREADS must be an integer in [1, " + std::to_string(kMaxThreads) +
+                   "], got \"" + env + "\"");
+    return static_cast<unsigned>(parsed);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;

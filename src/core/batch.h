@@ -46,9 +46,16 @@ class BatchRunner {
 
   [[nodiscard]] unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
 
+  /// Upper bound accepted from INDEXMAC_THREADS (a worker pool beyond this
+  /// is certainly a typo, not a machine).
+  static constexpr unsigned kMaxThreads = 1024;
+
   /// Pool size used for `threads == 0`: the INDEXMAC_THREADS environment
   /// variable if set (so benches can be pinned without a rebuild),
   /// otherwise std::thread::hardware_concurrency(), never less than 1.
+  /// INDEXMAC_THREADS must parse fully as an integer in [1, kMaxThreads];
+  /// anything else (0, garbage, trailing junk, huge values) throws SimError
+  /// rather than silently clamping.
   [[nodiscard]] static unsigned default_thread_count();
 
   /// Schedules any callable; the returned future carries its result or

@@ -1,0 +1,508 @@
+#include "core/sweep.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "common/format.h"
+#include "common/json.h"
+
+namespace indexmac::core {
+namespace {
+
+using workloads::parse_sparsity;
+using workloads::sparsity_label;
+
+// --- short, CSV-stable identifiers ---------------------------------------
+
+const char* algorithm_id(Algorithm a) {
+  switch (a) {
+    case Algorithm::kIndexmac: return "indexmac";
+    case Algorithm::kRowwiseSpmm: return "rowwise";
+    case Algorithm::kDenseRowwise: return "dense";
+  }
+  raise("unknown algorithm");
+}
+
+Algorithm parse_algorithm(const std::string& id) {
+  if (id == "indexmac") return Algorithm::kIndexmac;
+  if (id == "rowwise") return Algorithm::kRowwiseSpmm;
+  if (id == "dense") return Algorithm::kDenseRowwise;
+  raise("unknown algorithm \"" + id + "\" (known: rowwise, indexmac, dense)");
+}
+
+const char* dataflow_id(kernels::Dataflow d) {
+  switch (d) {
+    case kernels::Dataflow::kAStationary: return "a";
+    case kernels::Dataflow::kBStationary: return "b";
+    case kernels::Dataflow::kCStationary: return "c";
+  }
+  raise("unknown dataflow");
+}
+
+kernels::Dataflow parse_dataflow(const std::string& id) {
+  if (id == "a") return kernels::Dataflow::kAStationary;
+  if (id == "b") return kernels::Dataflow::kBStationary;
+  if (id == "c") return kernels::Dataflow::kCStationary;
+  raise("unknown dataflow \"" + id + "\" (known: a, b, c)");
+}
+
+SweepMode parse_mode(const std::string& id) {
+  if (id == "exact") return SweepMode::kExact;
+  if (id == "sampled") return SweepMode::kSampled;
+  raise("unknown sweep mode \"" + id + "\" (known: exact, sampled)");
+}
+
+// --- processor overrides and digest ---------------------------------------
+
+/// The sweep-overridable processor knobs, addressed by dotted name.
+void apply_processor_override(timing::ProcessorConfig& p, const std::string& key,
+                              std::uint64_t v) {
+  IMAC_CHECK(v > 0, "processor override \"" + key + "\" must be positive");
+  const auto u = static_cast<unsigned>(v);
+  if (key == "scalar.issue_width") p.scalar.issue_width = u;
+  else if (key == "scalar.rob_entries") p.scalar.rob_entries = u;
+  else if (key == "scalar.lsq_entries") p.scalar.lsq_entries = u;
+  else if (key == "scalar.mispredict_penalty") p.scalar.mispredict_penalty = u;
+  else if (key == "vector.queue_entries") p.vector.queue_entries = u;
+  else if (key == "vector.load_queues") p.vector.load_queues = u;
+  else if (key == "vector.store_queues") p.vector.store_queues = u;
+  else if (key == "vector.mac_latency") p.vector.mac_latency = u;
+  else if (key == "vector.alu_latency") p.vector.alu_latency = u;
+  else if (key == "vector.dispatch_latency") p.vector.dispatch_latency = u;
+  else if (key == "vector.to_scalar_latency") p.vector.to_scalar_latency = u;
+  else if (key == "memory.l2_size_kib") p.memory.l2.size_bytes = v * 1024;
+  else if (key == "memory.l2_hit_latency") p.memory.l2.hit_latency = u;
+  else if (key == "memory.dram_latency") p.memory.dram_latency = u;
+  else if (key == "memory.dram_line_occupancy") p.memory.dram_line_occupancy = u;
+  else raise("unknown processor override \"" + key + "\"");
+}
+
+std::uint64_t fnv1a(const std::string& data, std::uint64_t h = 0xcbf29ce484222325ull) {
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void append_cache(std::string& out, const CacheConfig& c) {
+  out += std::to_string(c.size_bytes) + "/" + std::to_string(c.ways) + "/" +
+         std::to_string(c.line_bytes) + "/" + std::to_string(c.hit_latency) + ";";
+}
+
+/// Canonical field-by-field serialization: two configs digest equal iff
+/// every timing-relevant parameter matches.
+std::string serialize_processor(const timing::ProcessorConfig& p) {
+  std::string s = "scalar:";
+  for (const unsigned v :
+       {p.scalar.fetch_width, p.scalar.issue_width, p.scalar.commit_width, p.scalar.rob_entries,
+        p.scalar.lsq_entries, p.scalar.phys_int_regs, p.scalar.phys_fp_regs,
+        p.scalar.mispredict_penalty, p.scalar.alu_latency, p.scalar.mul_latency})
+    s += std::to_string(v) + ",";
+  s += "vector:";
+  for (const unsigned v :
+       {p.vector.lanes, p.vector.queue_entries, p.vector.load_queues, p.vector.store_queues,
+        p.vector.mac_latency, p.vector.alu_latency, p.vector.slide_latency,
+        p.vector.move_latency, p.vector.reduction_latency, p.vector.gather_lanes,
+        p.vector.to_scalar_latency, p.vector.dispatch_latency})
+    s += std::to_string(v) + ",";
+  s += "mem:";
+  append_cache(s, p.memory.l1i);
+  append_cache(s, p.memory.l1d);
+  append_cache(s, p.memory.l2);
+  for (const unsigned v : {p.memory.l2_banks, p.memory.l2_bank_occupancy, p.memory.dram_latency,
+                           p.memory.dram_line_occupancy})
+    s += std::to_string(v) + ",";
+  return s;
+}
+
+// --- spec parsing ---------------------------------------------------------
+
+std::vector<std::string> string_list(const JsonValue& v, const char* what) {
+  std::vector<std::string> out;
+  for (const JsonValue& e : v.as_array()) out.push_back(e.as_string());
+  IMAC_CHECK(!out.empty(), std::string("sweep spec: \"") + what + "\" must be non-empty");
+  return out;
+}
+
+std::vector<unsigned> uint_list(const JsonValue& v, const char* what) {
+  std::vector<unsigned> out;
+  for (const JsonValue& e : v.as_array()) out.push_back(static_cast<unsigned>(e.as_uint()));
+  IMAC_CHECK(!out.empty(), std::string("sweep spec: \"") + what + "\" must be non-empty");
+  return out;
+}
+
+}  // namespace
+
+const char* sweep_mode_name(SweepMode mode) {
+  return mode == SweepMode::kExact ? "exact" : "sampled";
+}
+
+SweepSpec parse_sweep_spec(const std::string& json_text) {
+  const JsonValue doc = parse_json(json_text);
+  IMAC_CHECK(doc.is_object(), "sweep spec: document must be a JSON object");
+
+  static const char* kKnown[] = {"name",     "workloads", "sparsities", "algorithms",
+                                 "unroll",   "dataflows", "tile_rows",  "mode",
+                                 "seed",     "sample_rows", "sample_full_strips",
+                                 "processor"};
+  for (const auto& [key, value] : doc.members()) {
+    bool known = false;
+    for (const char* k : kKnown) known = known || key == k;
+    IMAC_CHECK(known, "sweep spec: unknown key \"" + key + "\"");
+  }
+
+  SweepSpec spec;
+  spec.name = doc.at("name").as_string();
+  spec.suites = string_list(doc.at("workloads"), "workloads");
+  for (const std::string& s : spec.suites)
+    (void)workloads::suite(s);  // unknown suites fail at parse time
+
+  if (const JsonValue* v = doc.get("sparsities")) {
+    spec.sparsities.clear();
+    for (const std::string& label : string_list(*v, "sparsities"))
+      spec.sparsities.push_back(parse_sparsity(label));
+  }
+  if (const JsonValue* v = doc.get("algorithms")) {
+    spec.algorithms.clear();
+    for (const std::string& id : string_list(*v, "algorithms"))
+      spec.algorithms.push_back(parse_algorithm(id));
+  }
+  if (const JsonValue* v = doc.get("unroll")) spec.unrolls = uint_list(*v, "unroll");
+  for (const unsigned u : spec.unrolls)
+    IMAC_CHECK(u >= 1 && u <= 4,
+               "sweep spec: unroll must be in [1,4] (all kernel generators), got " +
+                   std::to_string(u));
+  if (const JsonValue* v = doc.get("dataflows")) {
+    spec.dataflows.clear();
+    for (const std::string& id : string_list(*v, "dataflows"))
+      spec.dataflows.push_back(parse_dataflow(id));
+  }
+  if (const JsonValue* v = doc.get("tile_rows")) spec.tile_rows = uint_list(*v, "tile_rows");
+  for (const unsigned t : spec.tile_rows)
+    IMAC_CHECK(t >= 1 && t <= 16,
+               "sweep spec: tile_rows must be in [1,16] (register-file bound), got " +
+                   std::to_string(t));
+  if (const JsonValue* v = doc.get("mode")) spec.mode = parse_mode(v->as_string());
+  if (spec.mode == SweepMode::kSampled)
+    for (const Algorithm alg : spec.algorithms)
+      IMAC_CHECK(alg != Algorithm::kDenseRowwise,
+                 "sweep spec: sampled mode supports the sparse kernels only (drop \"dense\" "
+                 "or use mode \"exact\")");
+  if (const JsonValue* v = doc.get("seed")) spec.seed = static_cast<std::uint32_t>(v->as_uint());
+  if (const JsonValue* v = doc.get("sample_rows"))
+    spec.sample.sample_rows = static_cast<unsigned>(v->as_uint());
+  if (const JsonValue* v = doc.get("sample_full_strips"))
+    spec.sample.sample_full_strips = static_cast<unsigned>(v->as_uint());
+  if (const JsonValue* v = doc.get("processor"))
+    for (const auto& [key, value] : v->members())
+      apply_processor_override(spec.processor, key, value.as_uint());
+  return spec;
+}
+
+SweepSpec parse_sweep_spec_file(const std::string& path) {
+  std::ifstream file(path);
+  IMAC_CHECK(file.good(), "cannot open sweep spec " + path);
+  std::stringstream buf;
+  buf << file.rdbuf();
+  return parse_sweep_spec(buf.str());
+}
+
+// --- expansion ------------------------------------------------------------
+
+std::string SweepPoint::cache_key(const SweepSpec& spec) const {
+  std::string key = std::string(sweep_mode_name(mode)) + "|" + std::to_string(dims.rows_a) + "x" +
+                    std::to_string(dims.k) + "x" + std::to_string(dims.cols_b) + "|" +
+                    sparsity_label(sp) + "|" + algorithm_id(config.algorithm) + "|" +
+                    dataflow_id(config.kernel.dataflow) + "|u" +
+                    std::to_string(config.kernel.unroll) + "|L" +
+                    std::to_string(config.tile_rows);
+  if (mode == SweepMode::kExact) {
+    key += "|seed" + std::to_string(spec.seed);
+  } else {
+    key += "|sr" + std::to_string(spec.sample.sample_rows) + "|sf" +
+           std::to_string(spec.sample.sample_full_strips);
+  }
+  char proc[20];
+  std::snprintf(proc, sizeof proc, "|p%016llx",
+                static_cast<unsigned long long>(fnv1a(serialize_processor(spec.processor))));
+  key += proc;
+  return key;
+}
+
+std::vector<SweepPoint> expand_sweep(const SweepSpec& spec) {
+  std::vector<SweepPoint> out;
+  for (const std::string& suite_name : spec.suites) {
+    const workloads::Suite& s = workloads::suite(suite_name);
+    const std::vector<sparse::Sparsity>& sparsities =
+        spec.sparsities.empty() ? s.sparsities : spec.sparsities;
+    for (const sparse::Sparsity sp : sparsities)
+      for (const workloads::Workload& w : s.workloads)
+        for (const Algorithm alg : spec.algorithms)
+          for (const kernels::Dataflow df : spec.dataflows)
+            for (const unsigned unroll : spec.unrolls)
+              for (const unsigned tile : spec.tile_rows) {
+                // Structurally-unsupported grid cells are skipped, not
+                // errors: Algorithm 3 is B-stationary by construction (the
+                // dataflow axis varies Algorithm 2), and the dense
+                // baseline only exists at unroll 1. This keeps mixed
+                // ablations (e.g. dataflows x both algorithms)
+                // expressible without aborting the sweep mid-run.
+                if (alg == Algorithm::kIndexmac && df != kernels::Dataflow::kBStationary)
+                  continue;
+                if (alg == Algorithm::kDenseRowwise &&
+                    (unroll != 1 || df != kernels::Dataflow::kBStationary))
+                  continue;
+                SweepPoint p;
+                p.suite = s.name;
+                p.workload = w.name;
+                p.count = w.count;
+                p.dims = w.dims;
+                p.sp = sp;
+                p.config.algorithm = alg;
+                p.config.kernel.unroll = unroll;
+                p.config.kernel.dataflow = df;
+                p.config.tile_rows = tile;
+                p.mode = spec.mode;
+                out.push_back(std::move(p));
+              }
+  }
+  IMAC_CHECK(!out.empty(), "sweep spec expands to zero supported points");
+  return out;
+}
+
+// --- cache ----------------------------------------------------------------
+
+const BatchResult* SweepCache::find(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = results_.find(key);
+  if (it == results_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second;
+}
+
+void SweepCache::insert(const std::string& key, const BatchResult& result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  results_.emplace(key, result);
+}
+
+std::size_t SweepCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return results_.size();
+}
+
+// --- execution ------------------------------------------------------------
+
+SweepReport run_sweep(const SweepSpec& spec, BatchRunner& runner, SweepCache* cache) {
+  return run_sweep(spec, expand_sweep(spec), runner, cache);
+}
+
+SweepReport run_sweep(const SweepSpec& spec, const std::vector<SweepPoint>& points,
+                      BatchRunner& runner, SweepCache* cache) {
+  SweepReport report;
+  report.spec_name = spec.name;
+
+  // One job per unique cache key; duplicate points (identical shapes under
+  // a different workload name, repeated grid cells) share the measurement.
+  std::vector<std::string> keys;
+  keys.reserve(points.size());
+  std::unordered_map<std::string, std::size_t> job_of_key;
+  std::vector<BatchJob> jobs;
+  std::vector<std::string> job_keys;
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const SweepPoint& p : points) {
+    keys.push_back(p.cache_key(spec));
+    hash = fnv1a(keys.back(), hash);
+    const std::string& key = keys.back();
+    if (job_of_key.count(key) != 0) continue;
+    if (cache != nullptr && cache->find(key) != nullptr) continue;
+    job_of_key.emplace(key, jobs.size());
+    if (spec.mode == SweepMode::kExact) {
+      BatchJob job;
+      job.mode = BatchJob::Mode::kExact;
+      job.dims = p.dims;
+      job.sp = p.sp;
+      job.config = p.config;
+      job.processor = spec.processor;
+      job.seed = spec.seed;
+      jobs.push_back(std::move(job));
+    } else {
+      jobs.push_back(sampled_job(p.dims, p.sp, p.config, spec.processor, spec.sample));
+    }
+    job_keys.push_back(key);
+  }
+  report.spec_hash = hash;
+
+  const std::vector<BatchResult> results = run_batch(runner, jobs);
+  if (cache != nullptr)
+    for (std::size_t i = 0; i < results.size(); ++i) cache->insert(job_keys[i], results[i]);
+
+  report.rows.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    SweepRow row;
+    row.point = points[i];
+    const BatchResult* r = nullptr;
+    if (const auto it = job_of_key.find(keys[i]); it != job_of_key.end()) {
+      r = &results[it->second];
+    } else {
+      IMAC_ASSERT(cache != nullptr, "sweep row neither measured nor cached");
+      r = cache->find(keys[i]);
+      IMAC_ASSERT(r != nullptr, "sweep cache lost a result mid-sweep");
+    }
+    row.cycles = r->cycles;
+    row.data_accesses = r->data_accesses;
+    report.rows.push_back(std::move(row));
+  }
+  return report;
+}
+
+SweepReport run_sweep(const SweepSpec& spec, unsigned threads, SweepCache* cache) {
+  BatchRunner runner(threads);
+  return run_sweep(spec, runner, cache);
+}
+
+// --- reports --------------------------------------------------------------
+
+namespace {
+
+constexpr const char* kCsvHeader =
+    "suite,workload,count,rows,k,cols,sparsity,algorithm,dataflow,unroll,tile_rows,mode,"
+    "cycles,data_accesses";
+
+std::string cycles_field(const SweepRow& row) {
+  if (row.point.mode == SweepMode::kExact)
+    return std::to_string(static_cast<std::uint64_t>(row.cycles));
+  return fmt_fixed(row.cycles, 2);
+}
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t pos = line.find(sep, start);
+    out.push_back(line.substr(start, pos - start));
+    if (pos == std::string::npos) return out;
+    start = pos + 1;
+  }
+}
+
+std::uint64_t parse_u64(const std::string& s, const char* what) {
+  IMAC_CHECK(!s.empty(), std::string("csv report: empty ") + what);
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    IMAC_CHECK(c >= '0' && c <= '9', std::string("csv report: bad ") + what + " \"" + s + "\"");
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string report_to_csv(const SweepReport& report) {
+  char hash[24];
+  std::snprintf(hash, sizeof hash, "%016llx", static_cast<unsigned long long>(report.spec_hash));
+  std::string out = "# indexmac sweep: spec=" + report.spec_name + " hash=" + hash + "\n";
+  out += kCsvHeader;
+  out += '\n';
+  for (const SweepRow& row : report.rows) {
+    const SweepPoint& p = row.point;
+    out += p.suite + "," + p.workload + "," + std::to_string(p.count) + "," +
+           std::to_string(p.dims.rows_a) + "," + std::to_string(p.dims.k) + "," +
+           std::to_string(p.dims.cols_b) + "," + sparsity_label(p.sp) + "," +
+           algorithm_id(p.config.algorithm) + "," + dataflow_id(p.config.kernel.dataflow) + "," +
+           std::to_string(p.config.kernel.unroll) + "," + std::to_string(p.config.tile_rows) +
+           "," + sweep_mode_name(p.mode) + "," + cycles_field(row) + "," +
+           std::to_string(row.data_accesses) + "\n";
+  }
+  return out;
+}
+
+std::string report_to_json(const SweepReport& report) {
+  JsonValue doc = JsonValue::make_object();
+  doc.set("spec", JsonValue(report.spec_name));
+  char hash[24];
+  std::snprintf(hash, sizeof hash, "%016llx", static_cast<unsigned long long>(report.spec_hash));
+  doc.set("hash", JsonValue(std::string(hash)));
+  JsonValue rows = JsonValue::make_array();
+  for (const SweepRow& row : report.rows) {
+    const SweepPoint& p = row.point;
+    JsonValue r = JsonValue::make_object();
+    r.set("suite", JsonValue(p.suite));
+    r.set("workload", JsonValue(p.workload));
+    r.set("count", JsonValue(static_cast<double>(p.count)));
+    r.set("rows", JsonValue(static_cast<double>(p.dims.rows_a)));
+    r.set("k", JsonValue(static_cast<double>(p.dims.k)));
+    r.set("cols", JsonValue(static_cast<double>(p.dims.cols_b)));
+    r.set("sparsity", JsonValue(sparsity_label(p.sp)));
+    r.set("algorithm", JsonValue(std::string(algorithm_id(p.config.algorithm))));
+    r.set("dataflow", JsonValue(std::string(dataflow_id(p.config.kernel.dataflow))));
+    r.set("unroll", JsonValue(static_cast<double>(p.config.kernel.unroll)));
+    r.set("tile_rows", JsonValue(static_cast<double>(p.config.tile_rows)));
+    r.set("mode", JsonValue(std::string(sweep_mode_name(p.mode))));
+    r.set("cycles", JsonValue(row.cycles));
+    r.set("data_accesses", JsonValue(static_cast<double>(row.data_accesses)));
+    rows.push_back(std::move(r));
+  }
+  doc.set("rows", std::move(rows));
+  return doc.dump() + "\n";
+}
+
+SweepReport parse_csv_report(const std::string& csv) {
+  SweepReport report;
+  bool saw_header = false;
+  std::size_t start = 0;
+  while (start < csv.size()) {
+    std::size_t end = csv.find('\n', start);
+    if (end == std::string::npos) end = csv.size();
+    const std::string line = csv.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      const std::size_t spec_at = line.find("spec=");
+      if (spec_at != std::string::npos) {
+        const std::size_t sp_end = line.find(' ', spec_at);
+        report.spec_name = line.substr(spec_at + 5, sp_end - spec_at - 5);
+      }
+      const std::size_t hash_at = line.find("hash=");
+      if (hash_at != std::string::npos)
+        report.spec_hash = std::stoull(line.substr(hash_at + 5), nullptr, 16);
+      continue;
+    }
+    if (!saw_header) {
+      IMAC_CHECK(line == kCsvHeader, "csv report: unexpected header \"" + line + "\"");
+      saw_header = true;
+      continue;
+    }
+    const std::vector<std::string> f = split(line, ',');
+    IMAC_CHECK(f.size() == 14, "csv report: expected 14 fields, got " +
+                                   std::to_string(f.size()) + " in \"" + line + "\"");
+    SweepRow row;
+    row.point.suite = f[0];
+    row.point.workload = f[1];
+    row.point.count = static_cast<unsigned>(parse_u64(f[2], "count"));
+    row.point.dims = {parse_u64(f[3], "rows"), parse_u64(f[4], "k"), parse_u64(f[5], "cols")};
+    row.point.sp = parse_sparsity(f[6]);
+    row.point.config.algorithm = parse_algorithm(f[7]);
+    row.point.config.kernel.dataflow = parse_dataflow(f[8]);
+    row.point.config.kernel.unroll = static_cast<unsigned>(parse_u64(f[9], "unroll"));
+    row.point.config.tile_rows = static_cast<unsigned>(parse_u64(f[10], "tile_rows"));
+    row.point.mode = parse_mode(f[11]);
+    try {
+      row.cycles = std::stod(f[12]);
+    } catch (const std::exception&) {
+      raise("csv report: bad cycles \"" + f[12] + "\"");
+    }
+    row.data_accesses = parse_u64(f[13], "data_accesses");
+    report.rows.push_back(std::move(row));
+  }
+  IMAC_CHECK(saw_header, "csv report: missing header row");
+  return report;
+}
+
+}  // namespace indexmac::core

@@ -1,0 +1,156 @@
+// Declarative sweep engine: a JSON spec names workload suites and a
+// RunConfig / ProcessorConfig grid; the engine expands the cross product,
+// executes every unique measurement once on a BatchRunner pool (a result
+// cache deduplicates repeated (shape, sparsity, config) points within and
+// across sweeps), and emits stable CSV/JSON reports suitable for
+// golden-file regression tests.
+//
+// Spec format (JSON subset, see common/json.h):
+//
+//   {
+//     "name": "tiny-exact",
+//     "workloads": ["tiny"],                      // registry suite names
+//     "sparsities": ["1:4", "2:4"],               // optional: suite default
+//     "algorithms": ["rowwise", "indexmac"],      // optional: both sparse
+//     "unroll": [1, 4],                           // optional: [4]
+//     "dataflows": ["b"],                         // optional: ["b"]
+//     "tile_rows": [16],                          // optional: [16]
+//     "mode": "exact",                            // or "sampled" (default)
+//     "seed": 1,                                  // exact-mode problem seed
+//     "sample_rows": 16, "sample_full_strips": 3, // sampled-mode controls
+//     "processor": {"vector.mac_latency": 5}      // optional overrides
+//   }
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/batch.h"
+#include "workloads/workloads.h"
+
+namespace indexmac::core {
+
+/// How each sweep point is measured.
+enum class SweepMode {
+  kExact,    ///< run_exact on a seeded random problem (cycle-accurate)
+  kSampled,  ///< run_sampled extrapolation (whole-network scale)
+};
+
+[[nodiscard]] const char* sweep_mode_name(SweepMode mode);
+
+/// A parsed, validated sweep specification.
+struct SweepSpec {
+  std::string name;
+  std::vector<std::string> suites;
+  /// Empty means "each suite's default sparsity list".
+  std::vector<sparse::Sparsity> sparsities;
+  std::vector<Algorithm> algorithms = {Algorithm::kRowwiseSpmm, Algorithm::kIndexmac};
+  std::vector<unsigned> unrolls = {4};
+  std::vector<kernels::Dataflow> dataflows = {kernels::Dataflow::kBStationary};
+  std::vector<unsigned> tile_rows = {16};
+  SweepMode mode = SweepMode::kSampled;
+  std::uint32_t seed = 1;
+  SampleParams sample;
+  timing::ProcessorConfig processor;
+};
+
+/// Parses and validates a spec document; throws SimError on unknown keys,
+/// unknown suites/algorithms, or empty grids.
+[[nodiscard]] SweepSpec parse_sweep_spec(const std::string& json_text);
+
+/// Convenience: reads `path` and parses it.
+[[nodiscard]] SweepSpec parse_sweep_spec_file(const std::string& path);
+
+/// One fully-resolved measurement of the expanded grid.
+struct SweepPoint {
+  std::string suite;
+  std::string workload;
+  unsigned count = 1;
+  kernels::GemmDims dims;
+  sparse::Sparsity sp;
+  RunConfig config;
+  SweepMode mode = SweepMode::kSampled;
+
+  /// Canonical serialization of everything the measurement depends on
+  /// (shape, sparsity, kernel config, mode, seed/sample controls, processor
+  /// digest) — the result-cache key. Suite/workload names are deliberately
+  /// excluded: identical shapes share one simulation.
+  [[nodiscard]] std::string cache_key(const SweepSpec& spec) const;
+};
+
+/// Expands the spec's cross product in deterministic report order:
+/// suite -> sparsity -> workload -> algorithm -> dataflow -> unroll ->
+/// tile_rows. Structurally-unsupported cells are skipped rather than
+/// errored (indexmac exists only B-stationary; the dense baseline only at
+/// unroll 1), so mixed ablation grids stay expressible; an all-skipped
+/// grid throws.
+[[nodiscard]] std::vector<SweepPoint> expand_sweep(const SweepSpec& spec);
+
+/// A measured point.
+struct SweepRow {
+  SweepPoint point;
+  double cycles = 0;
+  std::uint64_t data_accesses = 0;
+};
+
+struct SweepReport {
+  std::string spec_name;
+  /// FNV-1a digest chained over every expanded cache key in expansion
+  /// order: identifies the measurement sequence independent of suite or
+  /// workload naming (two reports with equal hashes measured the same
+  /// points in the same order with the same inputs).
+  std::uint64_t spec_hash = 0;
+  std::vector<SweepRow> rows;
+};
+
+/// Memoizes measurements across run_sweep calls. Thread-safe.
+class SweepCache {
+ public:
+  /// Returns the cached result or nullptr.
+  [[nodiscard]] const BatchResult* find(const std::string& key) const;
+  void insert(const std::string& key, const BatchResult& result);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, BatchResult> results_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+/// Runs the sweep on `runner`'s pool. Duplicate points within the sweep are
+/// simulated once; `cache` (optional) additionally carries results across
+/// sweeps. Rows come back in expansion order regardless of thread count.
+[[nodiscard]] SweepReport run_sweep(const SweepSpec& spec, BatchRunner& runner,
+                                    SweepCache* cache = nullptr);
+
+/// Same, but over an already-expanded grid (callers that expand_sweep()
+/// first — e.g. to report the point count — avoid expanding twice).
+/// `points` must come from expand_sweep(spec).
+[[nodiscard]] SweepReport run_sweep(const SweepSpec& spec,
+                                    const std::vector<SweepPoint>& points, BatchRunner& runner,
+                                    SweepCache* cache = nullptr);
+
+/// Convenience overload on a temporary pool (0 = default size).
+[[nodiscard]] SweepReport run_sweep(const SweepSpec& spec, unsigned threads = 0,
+                                    SweepCache* cache = nullptr);
+
+/// Stable CSV rendition: fixed header, one row per point in report order,
+/// '\n' line endings, exact-mode cycles printed as integers. Byte-stable
+/// across platforms/compilers for identical measurements.
+[[nodiscard]] std::string report_to_csv(const SweepReport& report);
+
+/// Stable JSON rendition of the same rows.
+[[nodiscard]] std::string report_to_json(const SweepReport& report);
+
+/// Parses a CSV produced by report_to_csv (the `report` CLI subcommand and
+/// round-trip tests); throws SimError on malformed input.
+[[nodiscard]] SweepReport parse_csv_report(const std::string& csv);
+
+}  // namespace indexmac::core

@@ -1,0 +1,171 @@
+#include "workloads/workloads.h"
+
+#include <algorithm>
+
+#include "cnn/conv_layer.h"
+#include "common/error.h"
+
+namespace indexmac::workloads {
+namespace {
+
+using kernels::GemmDims;
+
+const std::vector<sparse::Sparsity> kPaperSparsities = {sparse::kSparsity14,
+                                                        sparse::kSparsity24};
+
+/// Converts one CNN model into a suite via the im2col GEMM mapping,
+/// deduplicating identical shapes exactly like cnn::unique_gemms so the
+/// figure benches reproduce their pre-registry numbers.
+Suite from_cnn(const cnn::CnnModel& model, std::string name, std::string description) {
+  Suite out;
+  out.name = std::move(name);
+  out.display_name = model.name;
+  out.description = std::move(description);
+  out.source_layers = model.layers.size();
+  out.sparsities = kPaperSparsities;
+  for (const cnn::LayerGemm& layer : cnn::unique_gemms(model))
+    out.workloads.push_back({layer.representative.name, layer.dims, layer.count});
+  return out;
+}
+
+/// Encoder-transformer GEMMs under weight sparsity: A is the [out x in]
+/// projection weight, B the [in x seq] activation block, so only the four
+/// per-layer weight GEMMs appear (QK^T / PV score GEMMs multiply two dense
+/// activations and are outside the N:M weight-pruning scheme).
+Suite transformer_suite(std::string name, std::string display, std::string description,
+                        unsigned layers, unsigned hidden, unsigned ffn, unsigned seq) {
+  Suite out;
+  out.name = std::move(name);
+  out.display_name = std::move(display);
+  out.description = std::move(description);
+  out.source_layers = layers;
+  out.sparsities = kPaperSparsities;
+  out.workloads = {
+      {"attention.qkv_proj", {hidden, hidden, seq}, 3 * layers},
+      {"attention.out_proj", {hidden, hidden, seq}, layers},
+      {"mlp.up_proj", {ffn, hidden, seq}, layers},
+      {"mlp.down_proj", {hidden, ffn, seq}, layers},
+  };
+  return out;
+}
+
+Suite bert_base() {
+  return transformer_suite(
+      "bert-base", "BERT-base",
+      "BERT-base encoder projection GEMMs (12 layers, hidden 768, seq 128)",
+      /*layers=*/12, /*hidden=*/768, /*ffn=*/3072, /*seq=*/128);
+}
+
+Suite vit_base() {
+  Suite out = transformer_suite(
+      "vit-base", "ViT-B/16",
+      "ViT-B/16 encoder GEMMs (12 layers, hidden 768, 197 tokens @224x224)",
+      /*layers=*/12, /*hidden=*/768, /*ffn=*/3072, /*seq=*/197);
+  // Patch embedding: a 16x16/s16 conv == [768 x 3*16*16] x [768 x 196] GEMM.
+  out.workloads.insert(out.workloads.begin(), {"patch_embed", {768, 768, 196}, 1});
+  out.workloads.push_back({"head", {1000, 768, 1}, 1});
+  return out;
+}
+
+Suite tiny() {
+  Suite out;
+  out.name = "tiny";
+  out.display_name = "tiny";
+  out.description = "CI-sized shapes for golden-file regression tests (exact-mode friendly)";
+  out.sparsities = kPaperSparsities;
+  out.workloads = {
+      {"tiny.square", {16, 64, 32}, 1},
+      {"tiny.wide", {8, 32, 48}, 2},
+      {"tiny.ragged", {12, 48, 20}, 1},  // cols_b % 16 != 0: exercises the tail path
+  };
+  return out;
+}
+
+const std::vector<Suite>& registry() {
+  static const std::vector<Suite> suites = [] {
+    std::vector<Suite> out;
+    out.push_back(from_cnn(cnn::resnet50(), "resnet50",
+                           "ResNet50 conv GEMMs, ImageNet geometry (paper Figs. 4-6)"));
+    out.push_back(from_cnn(cnn::densenet121(), "densenet121",
+                           "DenseNet121 conv GEMMs, ImageNet geometry (paper Figs. 5-6)"));
+    out.push_back(from_cnn(cnn::inceptionv3(), "inceptionv3",
+                           "InceptionV3 conv GEMMs, 299x299 geometry (paper Figs. 5-6)"));
+    out.push_back(from_cnn(cnn::mobilenetv1(), "mobilenetv1",
+                           "MobileNetV1 depthwise/pointwise GEMMs (width 1.0, 224x224)"));
+    out.push_back(bert_base());
+    out.push_back(vit_base());
+    out.push_back(tiny());
+    return out;
+  }();
+  return suites;
+}
+
+}  // namespace
+
+std::uint64_t Suite::total_macs() const {
+  std::uint64_t total = 0;
+  for (const Workload& w : workloads)
+    total += static_cast<std::uint64_t>(w.dims.rows_a) * w.dims.k * w.dims.cols_b * w.count;
+  return total;
+}
+
+const std::vector<std::string>& suite_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const Suite& s : registry()) out.push_back(s.name);
+    return out;
+  }();
+  return names;
+}
+
+bool has_suite(const std::string& name) {
+  for (const Suite& s : registry())
+    if (s.name == name) return true;
+  return false;
+}
+
+const Suite& suite(const std::string& name) {
+  for (const Suite& s : registry())
+    if (s.name == name) return s;
+  std::string known;
+  for (const std::string& n : suite_names()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  raise("unknown workload suite \"" + name + "\" (known: " + known + ")");
+}
+
+std::vector<WorkloadInstance> expand(const Suite& s) {
+  std::vector<WorkloadInstance> out;
+  out.reserve(s.workloads.size() * s.sparsities.size());
+  for (const sparse::Sparsity sp : s.sparsities)
+    for (const Workload& w : s.workloads) out.push_back({w, sp});
+  return out;
+}
+
+kernels::GemmDims shrink(const kernels::GemmDims& dims, const kernels::GemmDims& cap) {
+  return {std::min(dims.rows_a, cap.rows_a), std::min(dims.k, cap.k),
+          std::min(dims.cols_b, cap.cols_b)};
+}
+
+sparse::Sparsity parse_sparsity(const std::string& label) {
+  const std::size_t colon = label.find(':');
+  IMAC_CHECK(colon != std::string::npos && colon > 0 && colon + 1 < label.size(),
+             "sparsity must be \"N:M\", got \"" + label + "\"");
+  unsigned n = 0, m = 0;
+  for (std::size_t i = 0; i < label.size(); ++i) {
+    if (i == colon) continue;
+    const char c = label[i];
+    IMAC_CHECK(c >= '0' && c <= '9', "sparsity must be \"N:M\", got \"" + label + "\"");
+    unsigned& field = i < colon ? n : m;
+    field = field * 10 + static_cast<unsigned>(c - '0');
+  }
+  IMAC_CHECK(n >= 1 && m >= n, "sparsity must satisfy 1 <= N <= M, got \"" + label + "\"");
+  return sparse::Sparsity{n, m};
+}
+
+std::string sparsity_label(sparse::Sparsity sp) {
+  return std::to_string(sp.n) + ":" + std::to_string(sp.m);
+}
+
+}  // namespace indexmac::workloads

@@ -1,0 +1,76 @@
+// Workload registry: named suites of GEMM shapes the simulator evaluates.
+//
+// The paper's evaluation is CNN-only (ResNet50/DenseNet121/InceptionV3
+// im2col GEMMs); the registry generalizes those hard-coded tables into a
+// single catalog that also covers MobileNetV1-style depthwise/pointwise
+// GEMMs and transformer (BERT-base / ViT-base) attention/MLP projection
+// GEMMs under 1:4 and 2:4 structured sparsity, the shapes evaluated by the
+// related structured-sparse RVV work (see PAPERS.md). Benches, the sweep
+// engine and the CLI all pull their layer lists from here, so adding a
+// suite makes it sweepable everywhere at once.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kernels/layout.h"
+#include "sparse/nm_matrix.h"
+
+namespace indexmac::workloads {
+
+/// One named GEMM workload: a shape plus its multiplicity within the suite
+/// (identical shapes cost identical simulated time, so each is measured
+/// once and weighted by `count`).
+struct Workload {
+  std::string name;
+  kernels::GemmDims dims;
+  unsigned count = 1;
+};
+
+/// A named collection of workloads (one network / benchmark family).
+struct Suite {
+  std::string name;          ///< registry key (lowercase, CLI-friendly)
+  std::string display_name;  ///< paper-style name for tables ("ResNet50")
+  std::string description;
+  /// Layer count of the source network (0 when not derived from one).
+  std::size_t source_layers = 0;
+  /// Sparsity patterns the suite is evaluated under by default.
+  std::vector<sparse::Sparsity> sparsities;
+  std::vector<Workload> workloads;
+
+  /// Total dense multiply-accumulates of one full pass, count-weighted.
+  [[nodiscard]] std::uint64_t total_macs() const;
+};
+
+/// Registered suite names, in registration order.
+[[nodiscard]] const std::vector<std::string>& suite_names();
+
+[[nodiscard]] bool has_suite(const std::string& name);
+
+/// Looks a suite up by name; throws SimError listing the known names.
+[[nodiscard]] const Suite& suite(const std::string& name);
+
+/// One (shape, sparsity) evaluation point of a suite's default grid.
+struct WorkloadInstance {
+  Workload workload;
+  sparse::Sparsity sp;
+};
+
+/// Expands a suite into its default (GemmDims, Sparsity) evaluation list:
+/// all workloads at the first sparsity, then all at the second, and so on
+/// (the order the figure benches consume).
+[[nodiscard]] std::vector<WorkloadInstance> expand(const Suite& s);
+
+/// Clamps each GEMM dimension to the matching dimension of `cap`: the
+/// test-sized replica of a production shape (aspect ratios flatten, but
+/// kernel structure — strip counts, tails, k-tiling — is preserved).
+[[nodiscard]] kernels::GemmDims shrink(const kernels::GemmDims& dims,
+                                       const kernels::GemmDims& cap);
+
+/// Parses "1:4"-style sparsity labels; throws SimError on anything else.
+[[nodiscard]] sparse::Sparsity parse_sparsity(const std::string& label);
+
+/// Renders a Sparsity back to its "N:M" label.
+[[nodiscard]] std::string sparsity_label(sparse::Sparsity sp);
+
+}  // namespace indexmac::workloads

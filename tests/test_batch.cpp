@@ -150,7 +150,26 @@ TEST(BatchRunner, DefaultThreadCountHonorsEnvironment) {
   EXPECT_GE(BatchRunner::default_thread_count(), 1u);
   ASSERT_EQ(setenv("INDEXMAC_THREADS", "3", 1), 0);
   EXPECT_EQ(BatchRunner::default_thread_count(), 3u);
+  ASSERT_EQ(setenv("INDEXMAC_THREADS", "1", 1), 0);
+  EXPECT_EQ(BatchRunner::default_thread_count(), 1u);
+  const auto max = std::to_string(BatchRunner::kMaxThreads);
+  ASSERT_EQ(setenv("INDEXMAC_THREADS", max.c_str(), 1), 0);
+  EXPECT_EQ(BatchRunner::default_thread_count(), BatchRunner::kMaxThreads);
   ASSERT_EQ(unsetenv("INDEXMAC_THREADS"), 0);
+}
+
+TEST(BatchRunner, DefaultThreadCountRejectsMalformedEnvironment) {
+  // A bad INDEXMAC_THREADS must fail loudly, never clamp or fall back:
+  // zero/negative, garbage, partial parses, and absurd widths.
+  const char* bad[] = {"0",          "-2",    "abc", "3abc",       "",
+                       "2147483648", "99999", "1e3", "4294967297", " "};
+  for (const char* value : bad) {
+    SCOPED_TRACE(std::string("INDEXMAC_THREADS=\"") + value + "\"");
+    ASSERT_EQ(setenv("INDEXMAC_THREADS", value, 1), 0);
+    EXPECT_THROW((void)BatchRunner::default_thread_count(), SimError);
+  }
+  ASSERT_EQ(unsetenv("INDEXMAC_THREADS"), 0);
+  EXPECT_GE(BatchRunner::default_thread_count(), 1u);  // clean fallback restored
 }
 
 }  // namespace

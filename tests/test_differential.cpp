@@ -7,16 +7,23 @@
 //    generated programs (loops, branches, memory, vector ops);
 //  * tracer consistency — the trace length matches retired instructions
 //    and records the same architectural effects.
+//  * sampled-vs-exact tolerance matrix — the sampled estimator stays
+//    within its documented error bound across dataflows, unroll factors
+//    and (shrunk) transformer GEMM shapes, and rejects exactly the
+//    configurations it documents as unsupported.
 #include <gtest/gtest.h>
 
 #include <random>
 #include <sstream>
 
 #include "asm/assembler.h"
+#include "core/runner.h"
+#include "core/spmm_problem.h"
 #include "fsim/machine.h"
 #include "fsim/tracer.h"
 #include "isa/encoding.h"
 #include "timing/timing_sim.h"
+#include "workloads/workloads.h"
 
 namespace indexmac {
 namespace {
@@ -125,6 +132,100 @@ TEST_P(RandomProgramDifferential, TimingCommitsExactlyWhatFunctionalRetires) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramDifferential,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u, 89u, 144u,
                                            233u, 377u, 610u, 987u, 1597u));
+
+/// The sampled estimator's documented cross-validation bound (see
+/// test_runner.cpp's SampledTracksExactOnModerateProblem).
+constexpr double kSampledErrorBound = 0.12;
+
+/// One transformer GEMM shrunk to exact-simulation size via the registry's
+/// shrink helper; the cap choices keep strip tails and k-tiling non-trivial.
+struct MatrixShape {
+  const char* label;
+  kernels::GemmDims dims;
+};
+
+std::vector<MatrixShape> transformer_matrix_shapes() {
+  const workloads::Suite& bert = workloads::suite("bert-base");
+  const workloads::Suite& vit = workloads::suite("vit-base");
+  return {
+      {"bert.qkv_proj", workloads::shrink(bert.workloads[0].dims, {24, 96, 48})},
+      {"bert.mlp_down", workloads::shrink(bert.workloads[3].dims, {16, 128, 33})},
+      {"vit.patch_embed", workloads::shrink(vit.workloads[0].dims, {32, 64, 41})},
+  };
+}
+
+TEST(SampledVsExactMatrix, TransformerShapesAcrossDataflowsAndUnrolls) {
+  using core::Algorithm;
+  using core::RunConfig;
+  const timing::ProcessorConfig proc{};
+  const sparse::Sparsity sp = sparse::kSparsity24;
+
+  std::uint32_t seed = 100;
+  for (const MatrixShape& shape : transformer_matrix_shapes()) {
+    const core::SpmmProblem problem = core::SpmmProblem::random(shape.dims, sp, seed++);
+    for (const auto df : {kernels::Dataflow::kAStationary, kernels::Dataflow::kBStationary,
+                          kernels::Dataflow::kCStationary})
+      for (const unsigned unroll : {1u, 2u, 4u, 8u})
+        for (const auto alg : {Algorithm::kRowwiseSpmm, Algorithm::kIndexmac}) {
+          SCOPED_TRACE(std::string(shape.label) + " df=" +
+                       std::to_string(static_cast<int>(df)) + " u" + std::to_string(unroll) +
+                       " " + core::algorithm_name(alg));
+          RunConfig config{.algorithm = alg, .kernel = {.unroll = unroll, .dataflow = df}};
+
+          // The generators document unroll in [1,4] and Algorithm 3 as
+          // B-stationary-only; those cells must reject, not mis-simulate.
+          const bool kernel_supported =
+              unroll <= 4 && (alg != Algorithm::kIndexmac || df == kernels::Dataflow::kBStationary);
+          // The sampled runner additionally documents B-stationary-only.
+          const bool sampled_supported =
+              kernel_supported && df == kernels::Dataflow::kBStationary;
+
+          if (!kernel_supported) {
+            EXPECT_THROW((void)core::run_exact(problem, config, proc), SimError);
+            EXPECT_THROW((void)core::run_sampled(shape.dims, sp, config, proc), SimError);
+            continue;
+          }
+          const auto exact = core::run_exact(problem, config, proc);
+          EXPECT_GT(exact.stats.cycles, 0u);
+          if (!sampled_supported) {
+            EXPECT_THROW((void)core::run_sampled(shape.dims, sp, config, proc), SimError);
+            continue;
+          }
+          const auto sampled = core::run_sampled(shape.dims, sp, config, proc);
+          const double err =
+              std::abs(sampled.cycles - static_cast<double>(exact.stats.cycles)) /
+              static_cast<double>(exact.stats.cycles);
+          EXPECT_LT(err, kSampledErrorBound)
+              << "sampled=" << sampled.cycles << " exact=" << exact.stats.cycles;
+          // Access counts are structure-determined: exact in both modes.
+          EXPECT_EQ(sampled.data_accesses, exact.data_accesses());
+        }
+  }
+}
+
+TEST(SampledVsExactMatrix, BothSparsitiesOnTransformerShapes) {
+  // The B-stationary tolerance cells again at 1:4 (the matrix above pins
+  // 2:4): sparsity changes the A-stream geometry the extrapolation scales.
+  using core::Algorithm;
+  using core::RunConfig;
+  const timing::ProcessorConfig proc{};
+  std::uint32_t seed = 200;
+  for (const MatrixShape& shape : transformer_matrix_shapes()) {
+    const core::SpmmProblem problem =
+        core::SpmmProblem::random(shape.dims, sparse::kSparsity14, seed++);
+    for (const auto alg : {Algorithm::kRowwiseSpmm, Algorithm::kIndexmac}) {
+      SCOPED_TRACE(std::string(shape.label) + " " + core::algorithm_name(alg));
+      const RunConfig config{.algorithm = alg, .kernel = {.unroll = 4}};
+      const auto exact = core::run_exact(problem, config, proc);
+      const auto sampled = core::run_sampled(shape.dims, sparse::kSparsity14, config, proc);
+      const double err = std::abs(sampled.cycles - static_cast<double>(exact.stats.cycles)) /
+                         static_cast<double>(exact.stats.cycles);
+      EXPECT_LT(err, kSampledErrorBound)
+          << "sampled=" << sampled.cycles << " exact=" << exact.stats.cycles;
+      EXPECT_EQ(sampled.data_accesses, exact.data_accesses());
+    }
+  }
+}
 
 TEST(Tracer, RecordsEveryRetiredInstruction) {
   Assembler a;

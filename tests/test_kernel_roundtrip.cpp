@@ -1,0 +1,115 @@
+// Fuzz-style assembler round-trip over every generated kernel: each
+// program the kernel generators emit is disassembled to text, re-assembled
+// with the text assembler, and must come back with identical encodings.
+// This pins the text assembler to the full vocabulary the generators
+// actually use (all algorithms x dataflows x unrolls x element types,
+// markers included, plus the SpMV and ELLPACK kernels), not just the
+// hand-picked instructions of test_text_assembler.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "asm/text_assembler.h"
+#include "kernels/ellpack_kernel.h"
+#include "kernels/kernels.h"
+#include "kernels/spmv_kernel.h"
+#include "workloads/workloads.h"
+
+namespace indexmac::kernels {
+namespace {
+
+/// Disassembles `program`, re-assembles the text at the same base, and
+/// expects bit-identical instruction words.
+void expect_round_trip(const Program& program, const std::string& what) {
+  SCOPED_TRACE(what);
+  ASSERT_GT(program.size(), 0u);
+  const std::string text = program_to_source(program);
+  const AssembledText again = assemble_text(text, program.base());
+  ASSERT_EQ(again.program.size(), program.size());
+  EXPECT_EQ(again.program.words(), program.words());
+}
+
+SpmmLayout layout_for(const GemmDims& dims, sparse::Sparsity sp, unsigned tile_rows) {
+  AddressAllocator alloc;
+  return make_layout(dims, sp, tile_rows, alloc);
+}
+
+TEST(KernelRoundTrip, IndexmacAllUnrollsSparsitiesMarkers) {
+  const GemmDims dims{16, 64, 40};  // full strips + ragged tail
+  for (const auto sp : {sparse::kSparsity14, sparse::kSparsity24})
+    for (const unsigned unroll : {1u, 2u, 4u})
+      for (const bool markers : {false, true}) {
+        KernelOptions options{.unroll = unroll, .emit_markers = markers};
+        const SpmmLayout layout = layout_for(dims, sp, 16);
+        expect_round_trip(emit_indexmac_kernel(layout, options),
+                          "indexmac u" + std::to_string(unroll) + " " + std::to_string(sp.n) +
+                              ":" + std::to_string(sp.m) + (markers ? " markers" : ""));
+      }
+}
+
+TEST(KernelRoundTrip, RowwiseAllDataflowsAndUnrolls) {
+  const GemmDims dims{16, 64, 40};
+  for (const auto df :
+       {Dataflow::kAStationary, Dataflow::kBStationary, Dataflow::kCStationary})
+    for (const unsigned unroll : {1u, 2u, 4u}) {
+      KernelOptions options{.unroll = unroll, .dataflow = df};
+      const SpmmLayout layout = layout_for(dims, sparse::kSparsity24, 16);
+      expect_round_trip(emit_rowwise_spmm_kernel(layout, options),
+                        std::string("rowwise df=") + std::to_string(static_cast<int>(df)) +
+                            " u" + std::to_string(unroll));
+    }
+}
+
+TEST(KernelRoundTrip, RowwiseIntegerLanes) {
+  KernelOptions options{.unroll = 2, .elem = ElemType::kI32};
+  const SpmmLayout layout = layout_for({8, 32, 16}, sparse::kSparsity14, 16);
+  expect_round_trip(emit_rowwise_spmm_kernel(layout, options), "rowwise i32");
+  options.elem = ElemType::kF32;
+  expect_round_trip(emit_rowwise_spmm_kernel(layout, options), "rowwise f32");
+}
+
+TEST(KernelRoundTrip, DenseBaseline) {
+  AddressAllocator alloc;
+  const SpmmLayout layout = make_layout({8, 32, 24}, sparse::kSparsity14, 16, alloc);
+  const std::uint64_t a_dense = alloc.alloc(8 * 32 * 4);
+  for (const auto elem : {ElemType::kF32, ElemType::kI32}) {
+    KernelOptions options{.unroll = 1, .elem = elem};
+    expect_round_trip(emit_dense_rowwise_kernel(layout, a_dense, 32, options),
+                      elem == ElemType::kF32 ? "dense f32" : "dense i32");
+  }
+}
+
+TEST(KernelRoundTrip, SpmvBothElementTypes) {
+  AddressAllocator alloc;
+  const SpmvLayout layout = make_spmv_layout(24, 64, 32, alloc);
+  expect_round_trip(emit_spmv_kernel(layout, ElemType::kF32), "spmv f32");
+  expect_round_trip(emit_spmv_kernel(layout, ElemType::kI32), "spmv i32");
+}
+
+TEST(KernelRoundTrip, Ellpack) {
+  AddressAllocator alloc;
+  const EllpackLayout layout = make_ellpack_layout({16, 64, 40}, 32, alloc);
+  expect_round_trip(emit_ellpack_kernel(layout), "ellpack");
+}
+
+TEST(KernelRoundTrip, RegistryShapesSurviveGeneration) {
+  // Shrunk versions of every registry suite's first shapes still produce
+  // round-trippable kernels (guards new suites against emitting shapes the
+  // generators cannot encode).
+  const kernels::GemmDims cap{16, 64, 48};
+  for (const std::string& name : workloads::suite_names()) {
+    const workloads::Suite& suite = workloads::suite(name);
+    const std::size_t take = std::min<std::size_t>(2, suite.workloads.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      const GemmDims dims = workloads::shrink(suite.workloads[i].dims, cap);
+      const SpmmLayout layout = layout_for(dims, sparse::kSparsity24, 16);
+      KernelOptions options{.unroll = 4};
+      expect_round_trip(emit_indexmac_kernel(layout, options),
+                        name + "/" + suite.workloads[i].name);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace indexmac::kernels

@@ -1,0 +1,319 @@
+// Sweep engine: spec parsing/validation, deterministic grid expansion,
+// result-cache deduplication, and stable CSV/JSON report emission.
+#include "core/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/json.h"
+#include "core/runner.h"
+
+namespace indexmac::core {
+namespace {
+
+constexpr const char* kTinySpec = R"({
+  "name": "unit",
+  "workloads": ["tiny"],
+  "sparsities": ["1:4"],
+  "algorithms": ["rowwise", "indexmac"],
+  "unroll": [4],
+  "mode": "exact",
+  "seed": 7
+})";
+
+TEST(SweepSpec, ParsesFieldsAndDefaults) {
+  const SweepSpec spec = parse_sweep_spec(kTinySpec);
+  EXPECT_EQ(spec.name, "unit");
+  ASSERT_EQ(spec.suites.size(), 1u);
+  EXPECT_EQ(spec.suites[0], "tiny");
+  ASSERT_EQ(spec.sparsities.size(), 1u);
+  EXPECT_EQ(spec.sparsities[0], sparse::kSparsity14);
+  EXPECT_EQ(spec.mode, SweepMode::kExact);
+  EXPECT_EQ(spec.seed, 7u);
+  // Defaults left untouched.
+  EXPECT_EQ(spec.dataflows, std::vector<kernels::Dataflow>{kernels::Dataflow::kBStationary});
+  EXPECT_EQ(spec.tile_rows, std::vector<unsigned>{16});
+
+  const SweepSpec minimal = parse_sweep_spec(R"({"name": "m", "workloads": ["tiny"]})");
+  EXPECT_EQ(minimal.mode, SweepMode::kSampled);
+  EXPECT_TRUE(minimal.sparsities.empty());  // suite defaults apply at expansion
+  ASSERT_EQ(minimal.algorithms.size(), 2u);
+}
+
+TEST(SweepSpec, RejectsBadDocuments) {
+  // Unknown keys (typo protection), suites, algorithms, empty grids.
+  EXPECT_THROW((void)parse_sweep_spec(R"({"name": "x", "workload": ["tiny"]})"), SimError);
+  EXPECT_THROW((void)parse_sweep_spec(R"({"name": "x", "workloads": ["nope"]})"), SimError);
+  EXPECT_THROW((void)parse_sweep_spec(R"({"name": "x", "workloads": []})"), SimError);
+  EXPECT_THROW(
+      (void)parse_sweep_spec(R"({"name": "x", "workloads": ["tiny"], "algorithms": ["fast"]})"),
+      SimError);
+  EXPECT_THROW(
+      (void)parse_sweep_spec(R"({"name": "x", "workloads": ["tiny"], "mode": "bogus"})"),
+      SimError);
+  EXPECT_THROW(
+      (void)parse_sweep_spec(R"({"name": "x", "workloads": ["tiny"], "dataflows": ["d"]})"),
+      SimError);
+  EXPECT_THROW((void)parse_sweep_spec(R"({"workloads": ["tiny"]})"), SimError);  // no name
+  EXPECT_THROW((void)parse_sweep_spec_file("/nonexistent/spec.json"), SimError);
+}
+
+TEST(SweepSpec, ProcessorOverridesApply) {
+  const SweepSpec spec = parse_sweep_spec(R"({
+    "name": "p",
+    "workloads": ["tiny"],
+    "processor": {"vector.mac_latency": 9, "memory.dram_latency": 250}
+  })");
+  EXPECT_EQ(spec.processor.vector.mac_latency, 9u);
+  EXPECT_EQ(spec.processor.memory.dram_latency, 250u);
+  EXPECT_THROW((void)parse_sweep_spec(R"({
+    "name": "p", "workloads": ["tiny"], "processor": {"warp.size": 32}
+  })"),
+               SimError);
+}
+
+TEST(SweepSpec, RejectsOutOfRangeGridValues) {
+  // Values every kernel generator documents as unsupported fail at parse
+  // time, before any simulation is spent.
+  EXPECT_THROW(
+      (void)parse_sweep_spec(R"({"name": "x", "workloads": ["tiny"], "unroll": [1, 8]})"),
+      SimError);
+  EXPECT_THROW(
+      (void)parse_sweep_spec(R"({"name": "x", "workloads": ["tiny"], "unroll": [0]})"),
+      SimError);
+  EXPECT_THROW(
+      (void)parse_sweep_spec(R"({"name": "x", "workloads": ["tiny"], "tile_rows": [32]})"),
+      SimError);
+  // The sampled runner documents sparse-kernels-only.
+  EXPECT_THROW((void)parse_sweep_spec(
+                   R"({"name": "x", "workloads": ["tiny"], "algorithms": ["dense"]})"),
+               SimError);
+  const SweepSpec dense_exact = parse_sweep_spec(
+      R"({"name": "x", "workloads": ["tiny"], "algorithms": ["dense"], "mode": "exact"})");
+  EXPECT_EQ(dense_exact.algorithms[0], Algorithm::kDenseRowwise);
+}
+
+TEST(SweepExpansion, SkipsStructurallyUnsupportedCells) {
+  // A mixed ablation grid stays expressible: indexmac exists only
+  // B-stationary and the dense baseline only at unroll 1 / one dataflow,
+  // so those cells are dropped instead of aborting the sweep mid-run.
+  const SweepSpec spec = parse_sweep_spec(R"({
+    "name": "mixed",
+    "workloads": ["tiny"],
+    "sparsities": ["1:4"],
+    "algorithms": ["rowwise", "indexmac", "dense"],
+    "dataflows": ["a", "b", "c"],
+    "unroll": [1, 4],
+    "mode": "exact"
+  })");
+  const auto points = expand_sweep(spec);
+  // Per workload: rowwise 3 dataflows x 2 unrolls + indexmac {b} x 2 +
+  // dense {b} x {1} = 6 + 2 + 1 = 9; times 3 tiny workloads.
+  ASSERT_EQ(points.size(), 27u);
+  for (const SweepPoint& p : points) {
+    if (p.config.algorithm == Algorithm::kIndexmac) {
+      EXPECT_EQ(p.config.kernel.dataflow, kernels::Dataflow::kBStationary);
+    }
+    if (p.config.algorithm == Algorithm::kDenseRowwise) {
+      EXPECT_EQ(p.config.kernel.unroll, 1u);
+      EXPECT_EQ(p.config.kernel.dataflow, kernels::Dataflow::kBStationary);
+    }
+  }
+  // The filtered grid runs to completion (this aborted mid-sweep before
+  // cells were filtered).
+  const SweepReport report = run_sweep(spec, 2);
+  EXPECT_EQ(report.rows.size(), 27u);
+}
+
+TEST(SweepExpansion, PreExpandedOverloadMatchesImplicitExpansion) {
+  const SweepSpec spec = parse_sweep_spec(kTinySpec);
+  const auto points = expand_sweep(spec);
+  BatchRunner pool(2);
+  const SweepReport a = run_sweep(spec, pool);
+  const SweepReport b = run_sweep(spec, points, pool);
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  EXPECT_EQ(a.spec_hash, b.spec_hash);
+  for (std::size_t i = 0; i < a.rows.size(); ++i)
+    EXPECT_EQ(a.rows[i].cycles, b.rows[i].cycles);
+}
+
+TEST(SweepExpansion, DeterministicOrderAndCount) {
+  const SweepSpec spec = parse_sweep_spec(R"({
+    "name": "grid",
+    "workloads": ["tiny"],
+    "sparsities": ["1:4", "2:4"],
+    "algorithms": ["rowwise", "indexmac"],
+    "unroll": [1, 4],
+    "mode": "exact"
+  })");
+  const auto points = expand_sweep(spec);
+  // 3 workloads x 2 sparsities x 2 algorithms x 2 unrolls.
+  ASSERT_EQ(points.size(), 24u);
+  // Order: sparsity-major, then workload, algorithm, unroll.
+  EXPECT_EQ(points[0].workload, "tiny.square");
+  EXPECT_EQ(points[0].sp, sparse::kSparsity14);
+  EXPECT_EQ(points[0].config.algorithm, Algorithm::kRowwiseSpmm);
+  EXPECT_EQ(points[0].config.kernel.unroll, 1u);
+  EXPECT_EQ(points[1].config.kernel.unroll, 4u);
+  EXPECT_EQ(points[2].config.algorithm, Algorithm::kIndexmac);
+  EXPECT_EQ(points[12].sp, sparse::kSparsity24);
+  // Expansion is a pure function of the spec.
+  const auto again = expand_sweep(spec);
+  for (std::size_t i = 0; i < points.size(); ++i)
+    EXPECT_EQ(points[i].cache_key(spec), again[i].cache_key(spec));
+}
+
+TEST(SweepCacheKey, DistinguishesEveryKnob) {
+  SweepSpec spec = parse_sweep_spec(kTinySpec);
+  const auto points = expand_sweep(spec);
+  SweepPoint p = points[0];
+  const std::string base = p.cache_key(spec);
+
+  SweepPoint q = p;
+  q.dims.cols_b += 16;
+  EXPECT_NE(q.cache_key(spec), base);
+  q = p;
+  q.sp = sparse::kSparsity24;
+  EXPECT_NE(q.cache_key(spec), base);
+  q = p;
+  q.config.kernel.unroll = 2;
+  EXPECT_NE(q.cache_key(spec), base);
+  q = p;
+  q.config.tile_rows = 8;
+  EXPECT_NE(q.cache_key(spec), base);
+
+  // Spec-level inputs the measurement depends on: seed and processor.
+  SweepSpec other = spec;
+  other.seed = 99;
+  EXPECT_NE(p.cache_key(other), base);
+  other = spec;
+  other.processor.vector.mac_latency += 1;
+  EXPECT_NE(p.cache_key(other), base);
+
+  // Workload naming must NOT affect the key (identical shapes share runs).
+  q = p;
+  q.suite = "renamed";
+  q.workload = "alias";
+  EXPECT_EQ(q.cache_key(spec), base);
+}
+
+TEST(SweepRun, MatchesDirectRunnerResults) {
+  const SweepSpec spec = parse_sweep_spec(kTinySpec);
+  const SweepReport report = run_sweep(spec, /*threads=*/2);
+  ASSERT_EQ(report.rows.size(), 6u);  // 3 workloads x 2 algorithms
+  EXPECT_EQ(report.spec_name, "unit");
+  EXPECT_NE(report.spec_hash, 0u);
+  for (const SweepRow& row : report.rows) {
+    const auto problem = SpmmProblem::random(row.point.dims, row.point.sp, spec.seed);
+    const auto exact = run_exact(problem, row.point.config, spec.processor);
+    EXPECT_EQ(row.cycles, static_cast<double>(exact.stats.cycles)) << row.point.workload;
+    EXPECT_EQ(row.data_accesses, exact.data_accesses()) << row.point.workload;
+  }
+}
+
+TEST(SweepRun, CacheDeduplicatesWithinAndAcrossSweeps) {
+  // Duplicate suite entry: every point appears twice, but each unique
+  // measurement must be simulated exactly once.
+  SweepSpec spec = parse_sweep_spec(kTinySpec);
+  spec.suites = {"tiny", "tiny"};
+
+  SweepCache cache;
+  BatchRunner pool(2);
+  const SweepReport first = run_sweep(spec, pool, &cache);
+  ASSERT_EQ(first.rows.size(), 12u);
+  EXPECT_EQ(cache.size(), 6u);  // unique measurements only
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(first.rows[i].cycles, first.rows[i + 6].cycles);
+    EXPECT_EQ(first.rows[i].data_accesses, first.rows[i + 6].data_accesses);
+  }
+
+  // Re-running hits the cache for every unique key (no new entries) and
+  // reproduces identical rows.
+  const SweepReport second = run_sweep(spec, pool, &cache);
+  EXPECT_EQ(cache.size(), 6u);
+  EXPECT_GT(cache.hits(), 0u);
+  ASSERT_EQ(second.rows.size(), first.rows.size());
+  for (std::size_t i = 0; i < first.rows.size(); ++i)
+    EXPECT_EQ(second.rows[i].cycles, first.rows[i].cycles);
+  EXPECT_EQ(second.spec_hash, first.spec_hash);
+}
+
+TEST(SweepRun, SampledModeUsesSampleControls) {
+  const SweepSpec spec = parse_sweep_spec(R"({
+    "name": "sampled",
+    "workloads": ["tiny"],
+    "sparsities": ["1:4"],
+    "algorithms": ["indexmac"],
+    "mode": "sampled",
+    "sample_rows": 8,
+    "sample_full_strips": 2
+  })");
+  EXPECT_EQ(spec.sample.sample_rows, 8u);
+  EXPECT_EQ(spec.sample.sample_full_strips, 2u);
+  const SweepReport report = run_sweep(spec, /*threads=*/2);
+  ASSERT_EQ(report.rows.size(), 3u);
+  for (const SweepRow& row : report.rows) {
+    EXPECT_GT(row.cycles, 0.0);
+    EXPECT_GT(row.data_accesses, 0u);
+    EXPECT_EQ(row.point.mode, SweepMode::kSampled);
+  }
+}
+
+TEST(SweepReportFormats, CsvIsStableAndRoundTrips) {
+  const SweepSpec spec = parse_sweep_spec(kTinySpec);
+  const SweepReport report = run_sweep(spec, 2);
+  const std::string csv = report_to_csv(report);
+  // Emission is deterministic.
+  EXPECT_EQ(csv, report_to_csv(report));
+  // Exact-mode cycles print as integers (no decimal point in the cycles
+  // column; workload names legitimately contain dots).
+  std::istringstream lines(csv);
+  std::string line;
+  std::getline(lines, line);  // comment
+  std::getline(lines, line);  // header
+  while (std::getline(lines, line)) {
+    const std::size_t accesses_comma = line.rfind(',');
+    const std::size_t cycles_comma = line.rfind(',', accesses_comma - 1);
+    const std::string cycles = line.substr(cycles_comma + 1, accesses_comma - cycles_comma - 1);
+    EXPECT_EQ(cycles.find('.'), std::string::npos) << line;
+  }
+
+  const SweepReport parsed = parse_csv_report(csv);
+  EXPECT_EQ(parsed.spec_name, report.spec_name);
+  EXPECT_EQ(parsed.spec_hash, report.spec_hash);
+  ASSERT_EQ(parsed.rows.size(), report.rows.size());
+  for (std::size_t i = 0; i < parsed.rows.size(); ++i) {
+    EXPECT_EQ(parsed.rows[i].point.workload, report.rows[i].point.workload);
+    EXPECT_EQ(parsed.rows[i].point.config.algorithm, report.rows[i].point.config.algorithm);
+    EXPECT_EQ(parsed.rows[i].cycles, report.rows[i].cycles);
+    EXPECT_EQ(parsed.rows[i].data_accesses, report.rows[i].data_accesses);
+  }
+  // The re-rendered parse is byte-identical: full round trip.
+  EXPECT_EQ(report_to_csv(parsed), csv);
+}
+
+TEST(SweepReportFormats, JsonCarriesEveryRow) {
+  const SweepSpec spec = parse_sweep_spec(kTinySpec);
+  const SweepReport report = run_sweep(spec, 2);
+  const std::string json = report_to_json(report);
+  const JsonValue doc = parse_json(json);
+  EXPECT_EQ(doc.at("spec").as_string(), "unit");
+  ASSERT_EQ(doc.at("rows").as_array().size(), report.rows.size());
+  const JsonValue& row0 = doc.at("rows").as_array()[0];
+  EXPECT_EQ(row0.at("workload").as_string(), report.rows[0].point.workload);
+  EXPECT_DOUBLE_EQ(row0.at("cycles").as_number(), report.rows[0].cycles);
+}
+
+TEST(SweepReportFormats, ParserRejectsCorruptCsv) {
+  EXPECT_THROW((void)parse_csv_report(""), SimError);
+  EXPECT_THROW((void)parse_csv_report("not,a,header\n"), SimError);
+  const SweepSpec spec = parse_sweep_spec(kTinySpec);
+  const std::string csv = report_to_csv(run_sweep(spec, 2));
+  EXPECT_THROW((void)parse_csv_report(csv + "short,row\n"), SimError);
+  EXPECT_THROW((void)parse_csv_report(csv + "a,b,1,x,1,1,1:4,rowwise,b,4,16,exact,1,1\n"),
+               SimError);
+}
+
+}  // namespace
+}  // namespace indexmac::core

@@ -1,0 +1,95 @@
+// Golden-file regression tests: the checked-in canonical sweep spec
+// (tests/golden/tiny_sweep.json) must reproduce the checked-in CSV
+// (tests/golden/tiny_sweep.csv) byte-for-byte. Exact-mode cycles and
+// data-access counts are integers fully determined by the timing model, so
+// ANY drift in kernels, timing, memory hierarchy or report formatting
+// fails tier-1 loudly here.
+//
+// To regenerate after an intentional model change:
+//   build/tools/imac_run sweep --spec tests/golden/tiny_sweep.json
+//     --out tests/golden/tiny_sweep.csv     (one command line)
+// and explain the cycle deltas in the commit message.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/sweep.h"
+
+#ifndef INDEXMAC_GOLDEN_DIR
+#error "tests/CMakeLists.txt must define INDEXMAC_GOLDEN_DIR"
+#endif
+
+namespace indexmac::core {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  IMAC_CHECK(file.good(), "cannot open golden file " + path);
+  std::stringstream buf;
+  buf << file.rdbuf();
+  return buf.str();
+}
+
+std::string golden_path(const char* name) {
+  return std::string(INDEXMAC_GOLDEN_DIR) + "/" + name;
+}
+
+TEST(SweepGolden, TinySweepReproducesCheckedInCsvByteForByte) {
+  const SweepSpec spec = parse_sweep_spec_file(golden_path("tiny_sweep.json"));
+  const std::string expected = read_file(golden_path("tiny_sweep.csv"));
+
+  const SweepReport report = run_sweep(spec, /*threads=*/2);
+  const std::string actual = report_to_csv(report);
+
+  if (actual != expected) {
+    // Print both documents whole: the diff IS the regression report.
+    ADD_FAILURE() << "golden sweep drifted.\n--- expected (tiny_sweep.csv)\n"
+                  << expected << "--- actual\n"
+                  << actual
+                  << "--- if the timing-model change is intentional, regenerate with:\n"
+                     "    imac_run sweep --spec tests/golden/tiny_sweep.json "
+                     "--out tests/golden/tiny_sweep.csv\n";
+  }
+}
+
+TEST(SweepGolden, GoldenCsvIsSelfConsistent) {
+  // The checked-in artifact itself parses, re-renders identically, and
+  // carries the spec's full grid (guards against hand-edited golden files).
+  const std::string csv = read_file(golden_path("tiny_sweep.csv"));
+  const SweepReport parsed = parse_csv_report(csv);
+  EXPECT_EQ(report_to_csv(parsed), csv);
+
+  const SweepSpec spec = parse_sweep_spec_file(golden_path("tiny_sweep.json"));
+  EXPECT_EQ(parsed.spec_name, spec.name);
+  EXPECT_EQ(parsed.rows.size(), expand_sweep(spec).size());
+  for (const SweepRow& row : parsed.rows) {
+    EXPECT_EQ(row.point.mode, SweepMode::kExact);
+    EXPECT_GT(row.cycles, 0.0);
+    EXPECT_GT(row.data_accesses, 0u);
+  }
+}
+
+TEST(SweepGolden, HeadlineSpeedupHoldsInGoldenData) {
+  // The paper's core claim, locked into the golden artifact: for every
+  // (shape, sparsity, unroll) cell, indexmac beats rowwise and performs
+  // fewer memory accesses.
+  const SweepReport parsed = parse_csv_report(read_file(golden_path("tiny_sweep.csv")));
+  std::size_t pairs = 0;
+  for (const SweepRow& a : parsed.rows) {
+    if (a.point.config.algorithm != Algorithm::kRowwiseSpmm) continue;
+    for (const SweepRow& b : parsed.rows) {
+      if (b.point.config.algorithm != Algorithm::kIndexmac) continue;
+      if (b.point.workload != a.point.workload || !(b.point.sp == a.point.sp) ||
+          b.point.config.kernel.unroll != a.point.config.kernel.unroll)
+        continue;
+      ++pairs;
+      EXPECT_GT(a.cycles, b.cycles) << a.point.workload;
+      EXPECT_GE(a.data_accesses, b.data_accesses) << a.point.workload;
+    }
+  }
+  EXPECT_EQ(pairs, 12u);  // 3 shapes x 2 sparsities x 2 unrolls
+}
+
+}  // namespace
+}  // namespace indexmac::core

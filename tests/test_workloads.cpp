@@ -1,0 +1,154 @@
+// Workload registry: the suites that generalize the paper's CNN tables.
+// The CNN suites must reproduce cnn::unique_gemms exactly (the figure
+// benches rely on identical layer lists), and the transformer suites must
+// carry the documented projection shapes.
+#include "workloads/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include "cnn/conv_layer.h"
+
+namespace indexmac::workloads {
+namespace {
+
+TEST(Workloads, RegistryHasTheAdvertisedSuites) {
+  // The CLI's list-workloads contract: at least ResNet50, MobileNet-style,
+  // BERT-base and ViT suites, plus the CI tiny suite.
+  for (const char* name :
+       {"resnet50", "densenet121", "inceptionv3", "mobilenetv1", "bert-base", "vit-base",
+        "tiny"}) {
+    EXPECT_TRUE(has_suite(name)) << name;
+    EXPECT_FALSE(suite(name).workloads.empty()) << name;
+    EXPECT_FALSE(suite(name).display_name.empty()) << name;
+  }
+  EXPECT_GE(suite_names().size(), 4u);
+  EXPECT_FALSE(has_suite("no-such-net"));
+  EXPECT_THROW((void)suite("no-such-net"), SimError);
+}
+
+TEST(Workloads, CnnSuitesMatchUniqueGemms) {
+  const struct {
+    const char* suite_name;
+    cnn::CnnModel (*model)();
+  } cases[] = {{"resnet50", cnn::resnet50},
+               {"densenet121", cnn::densenet121},
+               {"inceptionv3", cnn::inceptionv3},
+               {"mobilenetv1", cnn::mobilenetv1}};
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.suite_name);
+    const Suite& s = suite(c.suite_name);
+    const cnn::CnnModel model = c.model();
+    const auto layers = cnn::unique_gemms(model);
+    EXPECT_EQ(s.source_layers, model.layers.size());
+    ASSERT_EQ(s.workloads.size(), layers.size());
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+      EXPECT_EQ(s.workloads[i].name, layers[i].representative.name);
+      EXPECT_EQ(s.workloads[i].dims.rows_a, layers[i].dims.rows_a);
+      EXPECT_EQ(s.workloads[i].dims.k, layers[i].dims.k);
+      EXPECT_EQ(s.workloads[i].dims.cols_b, layers[i].dims.cols_b);
+      EXPECT_EQ(s.workloads[i].count, layers[i].count);
+    }
+    // Count-weighted shapes cover every layer of the source network.
+    std::size_t total = 0;
+    for (const Workload& w : s.workloads) total += w.count;
+    EXPECT_EQ(total, model.layers.size());
+  }
+}
+
+TEST(Workloads, MobilenetContainsDepthwiseAndPointwiseShapes) {
+  const Suite& s = suite("mobilenetv1");
+  bool saw_dw = false, saw_pw = false;
+  for (const Workload& w : s.workloads) {
+    if (w.name.find(".dw") != std::string::npos) {
+      saw_dw = true;
+      EXPECT_EQ(w.dims.k, 9u) << w.name;  // 3x3 single-channel filter proxy
+    }
+    if (w.name.find(".pw") != std::string::npos) {
+      saw_pw = true;
+      EXPECT_GE(w.dims.k, 32u) << w.name;  // pointwise 1x1: k == in_channels
+    }
+  }
+  EXPECT_TRUE(saw_dw);
+  EXPECT_TRUE(saw_pw);
+  // MobileNetV1 @224: 0.57 GMACs dense (the well-known headline count).
+  EXPECT_NEAR(static_cast<double>(s.total_macs()) / 1e9, 0.57, 0.02);
+}
+
+TEST(Workloads, TransformerSuitesCarryProjectionShapes) {
+  const Suite& bert = suite("bert-base");
+  ASSERT_EQ(bert.workloads.size(), 4u);
+  EXPECT_EQ(bert.workloads[0].name, "attention.qkv_proj");
+  EXPECT_EQ(bert.workloads[0].count, 36u);  // 3 projections x 12 layers
+  for (const Workload& w : bert.workloads) EXPECT_EQ(w.dims.cols_b, 128u) << w.name;
+  // FFN up/down are transposes of each other.
+  EXPECT_EQ(bert.workloads[2].dims.rows_a, 3072u);
+  EXPECT_EQ(bert.workloads[2].dims.k, 768u);
+  EXPECT_EQ(bert.workloads[3].dims.rows_a, 768u);
+  EXPECT_EQ(bert.workloads[3].dims.k, 3072u);
+
+  const Suite& vit = suite("vit-base");
+  EXPECT_EQ(vit.workloads.front().name, "patch_embed");
+  EXPECT_EQ(vit.workloads.front().dims.k, 768u);  // 3*16*16
+  bool found_encoder = false;
+  for (const Workload& w : vit.workloads)
+    if (w.name == "attention.qkv_proj") {
+      found_encoder = true;
+      EXPECT_EQ(w.dims.cols_b, 197u);  // 196 patches + CLS token
+    }
+  EXPECT_TRUE(found_encoder);
+}
+
+TEST(Workloads, ExpandCrossesSparsities) {
+  const Suite& s = suite("tiny");
+  ASSERT_EQ(s.sparsities.size(), 2u);
+  const auto instances = expand(s);
+  ASSERT_EQ(instances.size(), s.workloads.size() * 2);
+  // All workloads at the first sparsity, then all at the second.
+  for (std::size_t i = 0; i < s.workloads.size(); ++i) {
+    EXPECT_EQ(instances[i].sp, s.sparsities[0]);
+    EXPECT_EQ(instances[i].workload.name, s.workloads[i].name);
+    EXPECT_EQ(instances[s.workloads.size() + i].sp, s.sparsities[1]);
+  }
+}
+
+TEST(Workloads, ShrinkClampsEachDimension) {
+  const kernels::GemmDims big{3072, 768, 197};
+  const kernels::GemmDims cap{32, 64, 48};
+  const kernels::GemmDims small = shrink(big, cap);
+  EXPECT_EQ(small.rows_a, 32u);
+  EXPECT_EQ(small.k, 64u);
+  EXPECT_EQ(small.cols_b, 48u);
+  const kernels::GemmDims tiny_dims = shrink({8, 16, 20}, cap);
+  EXPECT_EQ(tiny_dims.rows_a, 8u);
+  EXPECT_EQ(tiny_dims.k, 16u);
+  EXPECT_EQ(tiny_dims.cols_b, 20u);
+}
+
+TEST(Workloads, SparsityLabelsRoundTrip) {
+  EXPECT_EQ(parse_sparsity("1:4"), sparse::kSparsity14);
+  EXPECT_EQ(parse_sparsity("2:4"), sparse::kSparsity24);
+  EXPECT_EQ(sparsity_label(parse_sparsity("12:16")), "12:16");
+  EXPECT_THROW((void)parse_sparsity("14"), SimError);
+  EXPECT_THROW((void)parse_sparsity(":4"), SimError);
+  EXPECT_THROW((void)parse_sparsity("1:"), SimError);
+  EXPECT_THROW((void)parse_sparsity("4:1"), SimError);  // N > M
+  EXPECT_THROW((void)parse_sparsity("0:4"), SimError);
+  EXPECT_THROW((void)parse_sparsity("a:b"), SimError);
+}
+
+TEST(Workloads, AllShapesAreLayoutCompatible) {
+  // Every registered shape must survive layout construction at the paper's
+  // L=16 tile under both paper sparsities (the sweep engine's precondition).
+  for (const std::string& name : suite_names()) {
+    const Suite& s = suite(name);
+    for (const sparse::Sparsity sp : s.sparsities)
+      for (const Workload& w : s.workloads) {
+        AddressAllocator alloc;
+        const auto layout = kernels::make_layout(w.dims, sp, 16, alloc);
+        EXPECT_GT(layout.num_ktiles, 0u) << name << "/" << w.name;
+      }
+  }
+}
+
+}  // namespace
+}  // namespace indexmac::workloads

@@ -1,40 +1,62 @@
-// imac-run: assemble and execute a text-assembly program on the functional
-// simulator or the cycle-level timing model.
+// imac-run: the simulator's command-line front end.
 //
-// Usage:
-//   imac_run [--timing] [--trace] [--max-steps N] [--dump-regs] file.s
+// Subcommands:
+//   run             assemble + execute a text-assembly program (functional
+//                   or cycle-level timing simulation)
+//   sweep           execute a declarative sweep spec (JSON) over the
+//                   workload registry and emit a CSV/JSON report
+//   list-workloads  show the registered workload suites (or one suite's
+//                   layer list)
+//   report          pretty-print a sweep CSV, pairing algorithms into
+//                   speedup columns
 //
-// The assembly dialect is the library's subset (see isa::disassemble /
-// assemble_text), including the custom vindexmac.vx instruction. Programs
-// halt with ebreak.
+// Invoking with a .s file and no subcommand keeps the historical
+// single-purpose interface working: `imac_run [flags] file.s` == `imac_run
+// run [flags] file.s`.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 
 #include "asm/text_assembler.h"
 #include "common/error.h"
+#include "common/format.h"
+#include "core/sweep.h"
 #include "fsim/machine.h"
 #include "fsim/tracer.h"
 #include "timing/timing_sim.h"
+#include "workloads/workloads.h"
 
 namespace {
 
 // Requested help goes to stdout (exit 0); usage errors go to stderr.
 void usage(std::FILE* out) {
   std::fprintf(out,
-               "usage: imac_run [--timing] [--trace] [--max-steps N] [--dump-regs] file.s\n"
+               "usage: imac_run <subcommand> [args]\n"
                "\n"
-               "Assembles file.s (the library's RISC-V subset, including vindexmac.vx)\n"
-               "and executes it; programs halt with ebreak.\n"
+               "subcommands:\n"
+               "  run [--timing] [--trace] [--max-steps N] [--dump-regs] file.s\n"
+               "      Assembles file.s (the library's RISC-V subset, including\n"
+               "      vindexmac.vx) and executes it; programs halt with ebreak.\n"
+               "      --timing       run on the cycle-level timing model\n"
+               "      --trace        print each executed instruction (functional mode)\n"
+               "      --max-steps N  stop after N instructions (default 100000000)\n"
+               "      --dump-regs    print architectural registers on exit\n"
+               "  sweep --spec spec.json [--out file] [--format csv|json] [--threads N]\n"
+               "      Runs the sweep described by spec.json (see README: sweep specs)\n"
+               "      on a parallel BatchRunner pool and writes the report to stdout\n"
+               "      or --out.\n"
+               "  list-workloads [suite]\n"
+               "      Lists the registered workload suites, or one suite's layers.\n"
+               "  report file.csv\n"
+               "      Pretty-prints a sweep CSV; rows measured with both kernels are\n"
+               "      paired into a speedup column.\n"
+               "  -h, --help     show this help and exit\n"
                "\n"
-               "  --timing       run on the cycle-level timing model (default: functional)\n"
-               "  --trace        print each executed instruction (functional mode)\n"
-               "  --max-steps N  stop after N instructions (default 100000000)\n"
-               "  --dump-regs    print architectural registers on exit (functional mode)\n"
-               "  -h, --help     show this help and exit\n");
+               "`imac_run [flags] file.s` (no subcommand) is accepted as `run`.\n");
 }
 
 void dump_registers(const indexmac::ArchState& state) {
@@ -47,9 +69,7 @@ void dump_registers(const indexmac::ArchState& state) {
   std::printf("  vl=%u\n", state.vl);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int cmd_run(int argc, char** argv) {
   using namespace indexmac;
   bool timing = false;
   bool trace = false;
@@ -57,12 +77,8 @@ int main(int argc, char** argv) {
   std::uint64_t max_steps = 100'000'000;
   const char* path = nullptr;
 
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
-      usage(stdout);
-      return 0;
-    }
-    else if (std::strcmp(argv[i], "--timing") == 0) timing = true;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--timing") == 0) timing = true;
     else if (std::strcmp(argv[i], "--trace") == 0) trace = true;
     else if (std::strcmp(argv[i], "--dump-regs") == 0) dump_regs = true;
     else if (std::strcmp(argv[i], "--max-steps") == 0 && i + 1 < argc)
@@ -86,51 +102,255 @@ int main(int argc, char** argv) {
   std::stringstream source;
   source << file.rdbuf();
 
-  try {
-    const AssembledText assembled = assemble_text(source.str());
-    std::printf("assembled %zu instructions at 0x%llx\n", assembled.program.size(),
-                static_cast<unsigned long long>(assembled.program.base()));
+  const AssembledText assembled = assemble_text(source.str());
+  std::printf("assembled %zu instructions at 0x%llx\n", assembled.program.size(),
+              static_cast<unsigned long long>(assembled.program.base()));
 
-    MainMemory mem;
-    if (timing) {
-      timing::TimingSim sim(assembled.program, mem, timing::ProcessorConfig{});
-      const timing::TimingStats& stats = sim.run(max_steps);
-      std::printf("cycles: %llu  instructions: %llu  IPC: %.2f\n",
-                  static_cast<unsigned long long>(stats.cycles),
-                  static_cast<unsigned long long>(stats.instructions), stats.ipc());
-      std::printf("vector: %llu instrs (%llu loads, %llu stores, %llu MACs, %llu moves)\n",
-                  static_cast<unsigned long long>(stats.vector_instructions),
-                  static_cast<unsigned long long>(stats.vector_loads),
-                  static_cast<unsigned long long>(stats.vector_stores),
-                  static_cast<unsigned long long>(stats.vector_macs),
-                  static_cast<unsigned long long>(stats.vector_to_scalar_moves));
-      std::printf("memory: %llu data accesses, %llu DRAM lines\n",
-                  static_cast<unsigned long long>(stats.mem.data_accesses()),
-                  static_cast<unsigned long long>(stats.mem.dram_lines));
-      std::printf("dispatch stalls: operand %llu, branch %llu, queue %llu, bandwidth %llu\n",
-                  static_cast<unsigned long long>(stats.dispatch_stalls.scalar_operand),
-                  static_cast<unsigned long long>(stats.dispatch_stalls.branch_shadow),
-                  static_cast<unsigned long long>(stats.dispatch_stalls.queue_full),
-                  static_cast<unsigned long long>(stats.dispatch_stalls.bandwidth));
+  MainMemory mem;
+  if (timing) {
+    timing::TimingSim sim(assembled.program, mem, timing::ProcessorConfig{});
+    const timing::TimingStats& stats = sim.run(max_steps);
+    std::printf("cycles: %llu  instructions: %llu  IPC: %.2f\n",
+                static_cast<unsigned long long>(stats.cycles),
+                static_cast<unsigned long long>(stats.instructions), stats.ipc());
+    std::printf("vector: %llu instrs (%llu loads, %llu stores, %llu MACs, %llu moves)\n",
+                static_cast<unsigned long long>(stats.vector_instructions),
+                static_cast<unsigned long long>(stats.vector_loads),
+                static_cast<unsigned long long>(stats.vector_stores),
+                static_cast<unsigned long long>(stats.vector_macs),
+                static_cast<unsigned long long>(stats.vector_to_scalar_moves));
+    std::printf("memory: %llu data accesses, %llu DRAM lines\n",
+                static_cast<unsigned long long>(stats.mem.data_accesses()),
+                static_cast<unsigned long long>(stats.mem.dram_lines));
+    std::printf("dispatch stalls: operand %llu, branch %llu, queue %llu, bandwidth %llu\n",
+                static_cast<unsigned long long>(stats.dispatch_stalls.scalar_operand),
+                static_cast<unsigned long long>(stats.dispatch_stalls.branch_shadow),
+                static_cast<unsigned long long>(stats.dispatch_stalls.queue_full),
+                static_cast<unsigned long long>(stats.dispatch_stalls.bandwidth));
+  } else {
+    Machine machine(assembled.program, mem);
+    StopReason stop;
+    if (trace) {
+      Tracer tracer(machine);
+      stop = tracer.run(std::cout, max_steps);
     } else {
-      Machine machine(assembled.program, mem);
-      StopReason stop;
-      if (trace) {
-        Tracer tracer(machine);
-        stop = tracer.run(std::cout, max_steps);
-      } else {
-        stop = machine.run(max_steps);
-      }
-      const char* why = stop == StopReason::kEbreak   ? "ebreak"
-                        : stop == StopReason::kEcall  ? "ecall"
-                                                      : "max-steps";
-      std::printf("stopped: %s after %llu instructions\n", why,
-                  static_cast<unsigned long long>(machine.instructions_retired()));
-      if (dump_regs) dump_registers(machine.state());
+      stop = machine.run(max_steps);
     }
-  } catch (const SimError& e) {
+    const char* why = stop == StopReason::kEbreak   ? "ebreak"
+                      : stop == StopReason::kEcall  ? "ecall"
+                                                    : "max-steps";
+    std::printf("stopped: %s after %llu instructions\n", why,
+                static_cast<unsigned long long>(machine.instructions_retired()));
+    if (dump_regs) dump_registers(machine.state());
+  }
+  return 0;
+}
+
+int cmd_sweep(int argc, char** argv) {
+  using namespace indexmac;
+  const char* spec_path = nullptr;
+  const char* out_path = nullptr;
+  bool json = false;
+  unsigned threads = 0;
+
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--spec") == 0 && i + 1 < argc) spec_path = argv[++i];
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+    else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      // Same strictness as INDEXMAC_THREADS: a silently-mangled typo would
+      // run the sweep at an unintended width (0 = default pool size).
+      const char* value = argv[++i];
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(value, &end, 10);
+      if (end == value || *end != '\0' || parsed > core::BatchRunner::kMaxThreads) {
+        std::fprintf(stderr, "imac_run sweep: --threads must be an integer in [0, %u], got %s\n",
+                     core::BatchRunner::kMaxThreads, value);
+        return 2;
+      }
+      threads = static_cast<unsigned>(parsed);
+    }
+    else if (std::strcmp(argv[i], "--format") == 0 && i + 1 < argc) {
+      const char* fmt = argv[++i];
+      if (std::strcmp(fmt, "json") == 0) json = true;
+      else if (std::strcmp(fmt, "csv") == 0) json = false;
+      else {
+        std::fprintf(stderr, "imac_run sweep: unknown format %s (csv|json)\n", fmt);
+        return 2;
+      }
+    } else {
+      usage(stderr);
+      return 2;
+    }
+  }
+  if (spec_path == nullptr) {
+    std::fprintf(stderr, "imac_run sweep: --spec is required\n");
+    return 2;
+  }
+
+  const core::SweepSpec spec = core::parse_sweep_spec_file(spec_path);
+  const std::vector<core::SweepPoint> points = core::expand_sweep(spec);
+  core::BatchRunner pool(threads);
+  std::fprintf(stderr, "sweep %s: %zu points on %u threads\n", spec.name.c_str(), points.size(),
+               pool.thread_count());
+  const core::SweepReport report = core::run_sweep(spec, points, pool);
+  const std::string rendered = json ? core::report_to_json(report) : core::report_to_csv(report);
+
+  if (out_path != nullptr) {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "imac_run sweep: cannot write %s\n", out_path);
+      return 1;
+    }
+    out << rendered;
+    std::fprintf(stderr, "wrote %zu rows to %s\n", report.rows.size(), out_path);
+  } else {
+    std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  }
+  return 0;
+}
+
+int cmd_list_workloads(int argc, char** argv) {
+  using namespace indexmac;
+  if (argc > 1) {
+    usage(stderr);
+    return 2;
+  }
+  if (argc == 1) {
+    const workloads::Suite& s = workloads::suite(argv[0]);
+    std::printf("%s: %s\n\n", s.name.c_str(), s.description.c_str());
+    TextTable table;
+    table.set_header({"workload", "GEMM (RxKxN)", "count", "MMACs"});
+    for (const workloads::Workload& w : s.workloads) {
+      const double mmacs = static_cast<double>(w.dims.rows_a) * static_cast<double>(w.dims.k) *
+                           static_cast<double>(w.dims.cols_b) * w.count / 1e6;
+      table.add_row({w.name,
+                     std::to_string(w.dims.rows_a) + "x" + std::to_string(w.dims.k) + "x" +
+                         std::to_string(w.dims.cols_b),
+                     std::to_string(w.count), fmt_fixed(mmacs, 1)});
+    }
+    std::printf("%s", table.to_string().c_str());
+    return 0;
+  }
+  TextTable table;
+  table.set_header({"suite", "workloads", "layers", "GMACs", "sparsities", "description"});
+  for (const std::string& name : workloads::suite_names()) {
+    const workloads::Suite& s = workloads::suite(name);
+    std::string sparsities;
+    for (const auto sp : s.sparsities) {
+      if (!sparsities.empty()) sparsities += ' ';
+      sparsities += workloads::sparsity_label(sp);
+    }
+    table.add_row({s.name, std::to_string(s.workloads.size()), std::to_string(s.source_layers),
+                   fmt_fixed(static_cast<double>(s.total_macs()) / 1e9, 2), sparsities,
+                   s.description});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
+int cmd_report(int argc, char** argv) {
+  using namespace indexmac;
+  if (argc != 1) {
+    usage(stderr);
+    return 2;
+  }
+  std::ifstream file(argv[0], std::ios::binary);
+  if (!file) {
+    std::fprintf(stderr, "imac_run report: cannot open %s\n", argv[0]);
+    return 1;
+  }
+  std::stringstream buf;
+  buf << file.rdbuf();
+  const core::SweepReport report = core::parse_csv_report(buf.str());
+
+  // Pair rowwise/indexmac measurements of the same point into one line.
+  struct Pair {
+    const core::SweepRow* rowwise = nullptr;
+    const core::SweepRow* proposed = nullptr;
+    const core::SweepRow* any = nullptr;
+  };
+  std::map<std::string, Pair> pairs;  // keyed by everything but the algorithm
+  std::vector<std::string> order;
+  for (const core::SweepRow& row : report.rows) {
+    const core::SweepPoint& p = row.point;
+    const std::string key = p.suite + "|" + p.workload + "|" +
+                            workloads::sparsity_label(p.sp) + "|u" +
+                            std::to_string(p.config.kernel.unroll) + "|df" +
+                            std::to_string(static_cast<int>(p.config.kernel.dataflow)) + "|L" +
+                            std::to_string(p.config.tile_rows) + "|" +
+                            core::sweep_mode_name(p.mode) + "|" +
+                            std::to_string(p.dims.rows_a) + "x" + std::to_string(p.dims.k) + "x" +
+                            std::to_string(p.dims.cols_b);
+    auto [it, inserted] = pairs.try_emplace(key);
+    if (inserted) order.push_back(key);
+    it->second.any = &row;
+    if (p.config.algorithm == core::Algorithm::kRowwiseSpmm) it->second.rowwise = &row;
+    if (p.config.algorithm == core::Algorithm::kIndexmac) it->second.proposed = &row;
+  }
+
+  std::printf("sweep %s (%zu rows)\n\n", report.spec_name.c_str(), report.rows.size());
+  TextTable table;
+  table.set_header({"suite", "workload", "GEMM (RxKxN)", "sparsity", "dataflow", "unroll",
+                    "cycles", "accesses", "speedup"});
+  for (const std::string& key : order) {
+    const Pair& pair = pairs.at(key);
+    const core::SweepRow& base = *pair.any;
+    const core::SweepPoint& p = base.point;
+    std::string speedup = "-";
+    std::string cycles;
+    if (pair.rowwise != nullptr && pair.proposed != nullptr) {
+      speedup = fmt_speedup(pair.rowwise->cycles / pair.proposed->cycles);
+      cycles = fmt_fixed(pair.proposed->cycles, 0);
+    } else {
+      cycles = fmt_fixed(base.cycles, 0);
+    }
+    const core::SweepRow& shown =
+        pair.proposed != nullptr ? *pair.proposed : *pair.any;
+    const char* df = p.config.kernel.dataflow == kernels::Dataflow::kAStationary   ? "a"
+                     : p.config.kernel.dataflow == kernels::Dataflow::kBStationary ? "b"
+                                                                                   : "c";
+    table.add_row({p.suite, p.workload,
+                   std::to_string(p.dims.rows_a) + "x" + std::to_string(p.dims.k) + "x" +
+                       std::to_string(p.dims.cols_b),
+                   workloads::sparsity_label(p.sp), df, std::to_string(p.config.kernel.unroll),
+                   cycles, fmt_count(shown.data_accesses), speedup});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
+bool is_subcommand(const char* s) {
+  return std::strcmp(s, "run") == 0 || std::strcmp(s, "sweep") == 0 ||
+         std::strcmp(s, "list-workloads") == 0 || std::strcmp(s, "report") == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      usage(stdout);
+      return 0;
+    }
+  if (argc < 2) {
+    usage(stderr);
+    return 2;
+  }
+
+  try {
+    if (is_subcommand(argv[1])) {
+      const char* cmd = argv[1];
+      char** rest = argv + 2;
+      const int nrest = argc - 2;
+      if (std::strcmp(cmd, "run") == 0) return cmd_run(nrest, rest);
+      if (std::strcmp(cmd, "sweep") == 0) return cmd_sweep(nrest, rest);
+      if (std::strcmp(cmd, "list-workloads") == 0) return cmd_list_workloads(nrest, rest);
+      return cmd_report(nrest, rest);
+    }
+    // Historical interface: flags + a .s file, no subcommand.
+    return cmd_run(argc - 1, argv + 1);
+  } catch (const indexmac::SimError& e) {
     std::fprintf(stderr, "imac_run: %s\n", e.what());
     return 1;
   }
-  return 0;
 }
