@@ -1,0 +1,246 @@
+// Simulator-throughput benchmark: how many dynamic instructions per second
+// the trace-driven timing model retires. Every reproduced figure is gated
+// by this number, so the repo tracks it: the CI Release job runs this
+// harness and compares the emitted BENCH_sim_throughput.json against the
+// checked-in baseline (bench/sim_throughput_baseline.json), warning on a
+// >20% regression.
+//
+// Scenarios exercise the distinct hot paths of timing::Model:
+//   * scalar_heavy   — branchy scalar loop (front end + scalar issue + L1D)
+//   * vector_heavy   — exact indexmac SpMM run (vector dispatch + engine)
+//   * gather_heavy   — SpMV built on vluxei32 (per-element L2 accesses,
+//                      the path the zero-allocation trace targets)
+//   * sampled        — run_sampled miniature run (the sweep workhorse)
+// plus the wall-clock of the canonical tiny sweep (tests/golden), measured
+// on one thread so the number tracks single-core simulator speed.
+//
+// Usage: sim_throughput [--out FILE] [--reps N] [--scale N]
+//   --out FILE   where to write the JSON report (default
+//                BENCH_sim_throughput.json in the working directory)
+//   --reps N     timed repetitions per scenario; best rep is reported
+//                (default 5)
+//   --scale N    problem-size multiplier >= 1 (default 1; larger runs
+//                amortize setup noise further)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "asm/text_assembler.h"
+#include "common/error.h"
+#include "core/batch.h"
+#include "core/runner.h"
+#include "core/spmm_problem.h"
+#include "core/sweep.h"
+#include "kernels/spmv_kernel.h"
+#include "sparse/nm_matrix.h"
+#include "timing/timing_sim.h"
+
+namespace {
+
+using namespace indexmac;
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// One measured scenario: dynamic instructions per timed run plus the best
+/// wall-clock over the repetitions.
+struct ScenarioResult {
+  std::string name;
+  std::uint64_t instructions = 0;  ///< dynamic instructions per repetition
+  double best_seconds = 0;
+  unsigned reps = 0;
+
+  [[nodiscard]] double mips() const {
+    return best_seconds <= 0 ? 0 : static_cast<double>(instructions) / best_seconds / 1e6;
+  }
+};
+
+/// Runs `body` (which returns the dynamic-instruction count of one full
+/// timing-model execution) `reps` times after one untimed warm-up.
+template <typename Body>
+ScenarioResult measure(const std::string& name, unsigned reps, Body&& body) {
+  ScenarioResult out;
+  out.name = name;
+  out.reps = reps;
+  out.instructions = body();  // warm-up; also yields the instruction count
+  out.best_seconds = 1e30;
+  for (unsigned r = 0; r < reps; ++r) {
+    const Clock::time_point start = Clock::now();
+    const std::uint64_t instructions = body();
+    const double elapsed = seconds_since(start);
+    IMAC_CHECK(instructions == out.instructions,
+               "sim_throughput: instruction count drifted between reps in " + name);
+    if (elapsed < out.best_seconds) out.best_seconds = elapsed;
+  }
+  return out;
+}
+
+// ---- scenario bodies ----
+
+/// Branchy scalar loop: loads, stores, ALU ops and a backward branch.
+ScenarioResult scalar_heavy(unsigned reps, unsigned scale) {
+  const unsigned iters = 40'960 * scale;  // multiple of 4096: lui materializes it exactly
+  char source[512];
+  std::snprintf(source, sizeof source, R"(
+      lui   x2, 0x100
+      addi  x1, x0, 0
+      lui   x3, %u
+      addi  x5, x0, 0
+  loop:
+      lw    x4, 0(x2)
+      add   x5, x5, x4
+      addi  x4, x4, 3
+      sw    x4, 0(x2)
+      xori  x6, x5, 85
+      and   x7, x6, x5
+      addi  x2, x2, 4
+      andi  x2, x2, 2047
+      lui   x8, 0x100
+      or    x2, x2, x8
+      addi  x1, x1, 1
+      blt   x1, x3, loop
+      ebreak
+  )", iters >> 12);
+  const AssembledText assembled = assemble_text(source);
+  MainMemory mem;
+  return measure("scalar_heavy", reps, [&] {
+    timing::TimingSim sim(assembled.program, mem, timing::ProcessorConfig{});
+    return sim.run().instructions;
+  });
+}
+
+/// Exact indexmac SpMM run: vector dispatch, engine scoreboarding, vle32.
+ScenarioResult vector_heavy(unsigned reps, unsigned scale) {
+  const kernels::GemmDims dims{64 * scale, 256, 128};
+  const core::SpmmProblem problem = core::SpmmProblem::random(dims, sparse::kSparsity14, 1);
+  const core::RunConfig config{.algorithm = core::Algorithm::kIndexmac, .kernel = {}};
+  return measure("vector_heavy", reps, [&] {
+    return core::run_exact(problem, config, timing::ProcessorConfig{}).stats.instructions;
+  });
+}
+
+/// SpMV on vluxei32: every slot chunk gathers 16 elements through the L2.
+ScenarioResult gather_heavy(unsigned reps, unsigned scale) {
+  const std::size_t rows = 192 * scale;
+  const std::size_t k = 1024;
+  const auto dense = sparse::random_matrix<float>(rows, k, 11, -1.0f, 1.0f);
+  const auto a = sparse::NmMatrix<float>::prune_from_dense(dense, sparse::kSparsity14);
+  const auto packed = kernels::pack_spmv(a);
+  AddressAllocator alloc;
+  const kernels::SpmvLayout layout = kernels::make_spmv_layout(rows, k, packed.slots_padded, alloc);
+  MainMemory mem;
+  mem.write_f32s(layout.a_values, packed.values);
+  mem.write_i32s(layout.a_offsets, packed.offsets);
+  mem.write_f32s(layout.x_base, std::vector<float>(k, 0.5f));
+  const Program program = kernels::emit_spmv_kernel(layout, kernels::ElemType::kF32);
+  return measure("gather_heavy", reps, [&] {
+    timing::TimingSim sim(program, mem, timing::ProcessorConfig{});
+    return sim.run().instructions;
+  });
+}
+
+/// The sampled estimator on a transformer-ish GEMM (what sweeps run).
+ScenarioResult sampled(unsigned reps, unsigned scale) {
+  const kernels::GemmDims dims{512 * scale, 512, 512};
+  const core::RunConfig config{.algorithm = core::Algorithm::kIndexmac,
+                               .kernel = {.unroll = 4}};
+  return measure("sampled", reps, [&] {
+    return core::run_sampled(dims, sparse::kSparsity14, config, timing::ProcessorConfig{})
+        .sample_stats.instructions;
+  });
+}
+
+/// Wall-clock of the canonical golden sweep on one thread.
+double canonical_sweep_seconds() {
+  const std::string spec_path = std::string(INDEXMAC_GOLDEN_DIR) + "/tiny_sweep.json";
+  const core::SweepSpec spec = core::parse_sweep_spec_file(spec_path);
+  const std::vector<core::SweepPoint> points = core::expand_sweep(spec);
+  core::BatchRunner pool(1);
+  (void)core::run_sweep(spec, points, pool);  // warm-up
+  const Clock::time_point start = Clock::now();
+  (void)core::run_sweep(spec, points, pool);
+  return seconds_since(start);
+}
+
+std::string json_report(const std::vector<ScenarioResult>& scenarios, double sweep_seconds,
+                        unsigned scale) {
+  std::string out = "{\n";
+  out += "  \"schema\": \"indexmac-sim-throughput-v1\",\n";
+#ifdef NDEBUG
+  out += "  \"build\": \"release\",\n";
+#else
+  out += "  \"build\": \"debug\",\n";
+#endif
+  out += "  \"scale\": " + std::to_string(scale) + ",\n";
+  out += "  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const ScenarioResult& s = scenarios[i];
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "    {\"name\": \"%s\", \"instructions\": %llu, \"best_seconds\": %.6f, "
+                  "\"mips\": %.2f, \"reps\": %u}%s\n",
+                  s.name.c_str(), static_cast<unsigned long long>(s.instructions),
+                  s.best_seconds, s.mips(), s.reps, i + 1 < scenarios.size() ? "," : "");
+    out += line;
+  }
+  out += "  ],\n";
+  char sweep[96];
+  std::snprintf(sweep, sizeof sweep, "  \"canonical_sweep_seconds\": %.6f\n", sweep_seconds);
+  out += sweep;
+  out += "}\n";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = "BENCH_sim_throughput.json";
+  unsigned reps = 5;
+  unsigned scale = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+    else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc)
+      reps = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc)
+      scale = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    else {
+      std::fprintf(stderr,
+                   "usage: sim_throughput [--out FILE] [--reps N] [--scale N]\n");
+      return 2;
+    }
+  }
+  if (reps == 0) reps = 1;
+  if (scale == 0) scale = 1;
+
+  try {
+    std::vector<ScenarioResult> scenarios;
+    scenarios.push_back(scalar_heavy(reps, scale));
+    scenarios.push_back(vector_heavy(reps, scale));
+    scenarios.push_back(gather_heavy(reps, scale));
+    scenarios.push_back(sampled(reps, scale));
+    for (const ScenarioResult& s : scenarios)
+      std::printf("%-14s %10llu instructions   best %8.4f s   %8.2f MIPS\n", s.name.c_str(),
+                  static_cast<unsigned long long>(s.instructions), s.best_seconds, s.mips());
+    const double sweep_seconds = canonical_sweep_seconds();
+    std::printf("%-14s %35s %8.4f s\n", "tiny_sweep", "wall (1 thread)", sweep_seconds);
+
+    const std::string report = json_report(scenarios, sweep_seconds, scale);
+    std::FILE* out = std::fopen(out_path, "wb");
+    if (out == nullptr) {
+      std::fprintf(stderr, "sim_throughput: cannot write %s\n", out_path);
+      return 1;
+    }
+    std::fwrite(report.data(), 1, report.size(), out);
+    std::fclose(out);
+    std::printf("wrote %s\n", out_path);
+  } catch (const indexmac::SimError& e) {
+    std::fprintf(stderr, "sim_throughput: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

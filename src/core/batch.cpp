@@ -1,5 +1,6 @@
 #include "core/batch.h"
 
+#include <atomic>
 #include <cerrno>
 #include <cstdlib>
 #include <utility>
@@ -7,6 +8,11 @@
 #include "common/error.h"
 
 namespace indexmac::core {
+
+namespace {
+/// CLI-supplied default pool width; 0 = no override (see set_thread_override).
+std::atomic<unsigned> g_thread_override{0};
+}  // namespace
 
 BatchRunner::BatchRunner(unsigned threads) {
   if (threads == 0) threads = default_thread_count();
@@ -24,7 +30,24 @@ BatchRunner::~BatchRunner() {
   for (std::thread& worker : workers_) worker.join();
 }
 
+unsigned BatchRunner::parse_thread_count(const std::string& text) {
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(text.c_str(), &end, 10);
+  const bool parsed_fully = end != text.c_str() && *end == '\0' && errno == 0;
+  IMAC_CHECK(parsed_fully && parsed >= 1 && parsed <= static_cast<long>(kMaxThreads),
+             "thread count must be an integer in [1, " + std::to_string(kMaxThreads) +
+                 "], got \"" + text + "\"");
+  return static_cast<unsigned>(parsed);
+}
+
+void BatchRunner::set_thread_override(unsigned threads) {
+  g_thread_override.store(threads, std::memory_order_relaxed);
+}
+
 unsigned BatchRunner::default_thread_count() {
+  if (const unsigned override = g_thread_override.load(std::memory_order_relaxed); override != 0)
+    return override;
   if (const char* env = std::getenv("INDEXMAC_THREADS")) {
     // Reject malformed values loudly: a silently-ignored typo would run a
     // benchmark at an unintended width and corrupt every wall-clock

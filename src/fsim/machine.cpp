@@ -1,9 +1,11 @@
 #include "fsim/machine.h"
 
+#include <cstdio>
 #include <cstring>
 
 #include "common/bitutil.h"
 #include "common/error.h"
+#include "isa/encoding.h"
 
 namespace indexmac {
 
@@ -34,16 +36,42 @@ void ArchState::set_velem_f32(unsigned reg, unsigned lane, float value) {
   v[reg][lane] = f32_to_bits(value);
 }
 
+std::string describe_pc(const Program& program, std::uint64_t pc) {
+  char head[32];
+  std::snprintf(head, sizeof head, "pc 0x%llx", static_cast<unsigned long long>(pc));
+  if (!program.contains(pc)) {
+    char range[80];
+    std::snprintf(range, sizeof range, " (outside program [0x%llx, 0x%llx))",
+                  static_cast<unsigned long long>(program.base()),
+                  static_cast<unsigned long long>(program.end()));
+    return std::string(head) + range;
+  }
+  return std::string(head) + " (`" + isa::disassemble(program.at(pc)) + "`)";
+}
+
 Machine::Machine(const Program& program, MainMemory& memory)
-    : program_(program), memory_(memory) {
+    : program_(program),
+      memory_(memory),
+      code_(program.decoded().data()),
+      info_(program.static_info().data()),
+      base_(program.base()),
+      code_bytes_(program.end() - program.base()) {
   state_.pc = program.base();
   state_.vl = 0;
 }
 
 StopReason Machine::step() {
-  const Instruction& inst = program_.at(state_.pc);
+  const std::uint64_t offset = state_.pc - base_;  // wraps huge when pc < base
+  if (offset >= code_bytes_ || (offset & 3) != 0)
+    raise("functional execution left the program: " + describe_pc(program_, state_.pc));
+  const std::size_t slot = offset >> 2;
+  const Instruction& inst = code_[slot];
   const std::uint64_t next_pc = state_.pc + 4;
-  pending_stop_ = StopReason::kRunning;
+  // The halt ops are the only ones that stop execution; predecode flags
+  // them so exec's switch needn't route a stop reason back out.
+  pending_stop_ = info_[slot].has(isa::kSiHalt)
+                      ? (inst.op == Op::kEcall ? StopReason::kEcall : StopReason::kEbreak)
+                      : StopReason::kRunning;
   exec(inst, next_pc);
   state_.x[0] = 0;  // x0 is hardwired to zero
   ++retired_;
@@ -142,8 +170,9 @@ void Machine::exec(const Instruction& in, std::uint64_t next_pc) {
     case Op::kOr: x[in.rd] = x[in.rs1] | x[in.rs2]; break;
     case Op::kAnd: x[in.rd] = x[in.rs1] & x[in.rs2]; break;
     case Op::kMul: x[in.rd] = x[in.rs1] * x[in.rs2]; break;
-    case Op::kEcall: pending_stop_ = StopReason::kEcall; break;
-    case Op::kEbreak: pending_stop_ = StopReason::kEbreak; break;
+    case Op::kEcall:
+    case Op::kEbreak:
+      break;  // stop reason precomputed from the halt flag in step()
     case Op::kMarker:
       if (marker_hook_) marker_hook_(in.imm);
       break;
@@ -262,12 +291,11 @@ void Machine::exec(const Instruction& in, std::uint64_t next_pc) {
     }
     case Op::kVindexmacVx: {
       const unsigned src_reg = static_cast<unsigned>(x[in.rs1] & 0x1f);
-      const auto scale = static_cast<std::int32_t>(state_.v[in.rs2][0]);
-      for (unsigned i = 0; i < state_.vl; ++i) {
-        const auto acc = static_cast<std::int32_t>(state_.v[in.rd][i]);
-        const auto operand = static_cast<std::int32_t>(state_.v[src_reg][i]);
-        state_.v[in.rd][i] = static_cast<std::uint32_t>(acc + scale * operand);
-      }
+      // Unsigned arithmetic: same bits as two's-complement int32 MAC, but
+      // wraparound is defined (the ISA wraps modulo 2^32).
+      const std::uint32_t scale = state_.v[in.rs2][0];
+      for (unsigned i = 0; i < state_.vl; ++i)
+        state_.v[in.rd][i] += scale * state_.v[src_reg][i];
       break;
     }
     case Op::kVfindexmacVx: {
@@ -279,7 +307,8 @@ void Machine::exec(const Instruction& in, std::uint64_t next_pc) {
       break;
     }
     case Op::kIllegal:
-      raise("functional execution reached an illegal instruction");
+      raise("functional execution reached an illegal instruction at " +
+            describe_pc(program_, state_.pc));
   }
   state_.pc = new_pc;
 }

@@ -33,6 +33,11 @@ struct ArchState {
 /// Why a run loop stopped.
 enum class StopReason { kRunning, kEbreak, kEcall, kMaxSteps };
 
+/// Renders "pc 0x#### (`<disassembly>`)" for error messages, or a note that
+/// the pc lies outside the program. Used by both simulators so faults carry
+/// the faulting instruction, not just a bare message.
+[[nodiscard]] std::string describe_pc(const Program& program, std::uint64_t pc);
+
 /// One scalar core + vector engine executing a Program against MainMemory.
 class Machine {
  public:
@@ -60,6 +65,13 @@ class Machine {
 
   const Program& program_;
   MainMemory& memory_;
+  // Hot-path view of the (immutable) program: raw pointers into its
+  // predecoded tables, so step() indexes by slot instead of calling
+  // Program::at per dynamic instruction.
+  const isa::Instruction* code_ = nullptr;
+  const isa::StaticInstInfo* info_ = nullptr;
+  std::uint64_t base_ = 0;
+  std::uint64_t code_bytes_ = 0;
   ArchState state_;
   std::uint64_t retired_ = 0;
   std::function<void(int)> marker_hook_;

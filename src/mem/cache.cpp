@@ -1,5 +1,7 @@
 #include "mem/cache.h"
 
+#include <algorithm>
+
 namespace indexmac {
 
 Cache::Cache(const CacheConfig& config) : config_(config) {
@@ -9,7 +11,11 @@ Cache::Cache(const CacheConfig& config) : config_(config) {
              "cache size must divide evenly into sets");
   num_sets_ = config.size_bytes / config.ways / config.line_bytes;
   IMAC_CHECK(is_pow2(num_sets_), "number of sets must be a power of two");
+  line_shift_ = log2_exact(config.line_bytes);
+  set_shift_ = log2_exact(num_sets_);
+  set_mask_ = num_sets_ - 1;
   lines_.resize(num_sets_ * config.ways);
+  mru_.assign(num_sets_, 0);
 }
 
 CacheLineResult Cache::access(std::uint64_t addr, bool is_store) {
@@ -18,11 +24,24 @@ CacheLineResult Cache::access(std::uint64_t addr, bool is_store) {
   Line* const begin = &lines_[set * config_.ways];
   ++tick_;
 
+  // MRU front check: most accesses re-touch the set's last-hit line.
+  const std::uint32_t front = mru_[set];
+  {
+    Line& line = begin[front];
+    if (line.valid && line.tag == tag) {
+      line.lru = tick_;
+      line.dirty = line.dirty || is_store;
+      ++stats_.hits;
+      return CacheLineResult{.hit = true};
+    }
+  }
   for (unsigned w = 0; w < config_.ways; ++w) {
+    if (w == front) continue;
     Line& line = begin[w];
     if (line.valid && line.tag == tag) {
       line.lru = tick_;
       line.dirty = line.dirty || is_store;
+      mru_[set] = w;
       ++stats_.hits;
       return CacheLineResult{.hit = true};
     }
@@ -43,21 +62,25 @@ CacheLineResult Cache::access(std::uint64_t addr, bool is_store) {
   CacheLineResult result{};
   if (victim->valid && victim->dirty) {
     result.writeback = true;
-    result.victim_addr = (victim->tag * num_sets_ + set) * config_.line_bytes;
+    result.victim_addr = ((victim->tag << set_shift_) | set) << line_shift_;
     ++stats_.writebacks;
   }
   victim->valid = true;
   victim->dirty = is_store;
   victim->tag = tag;
   victim->lru = tick_;
+  mru_[set] = static_cast<std::uint32_t>(victim - begin);
   return result;
 }
 
 bool Cache::probe(std::uint64_t addr) const {
   const std::uint64_t set = set_index(addr);
   const std::uint64_t tag = tag_of(addr);
+  const Line* const begin = &lines_[set * config_.ways];
+  const Line& front = begin[mru_[set]];
+  if (front.valid && front.tag == tag) return true;
   for (unsigned w = 0; w < config_.ways; ++w) {
-    const Line& line = lines_[set * config_.ways + w];
+    const Line& line = begin[w];
     if (line.valid && line.tag == tag) return true;
   }
   return false;
@@ -65,6 +88,7 @@ bool Cache::probe(std::uint64_t addr) const {
 
 void Cache::invalidate_all() {
   for (Line& line : lines_) line = Line{};
+  std::fill(mru_.begin(), mru_.end(), 0u);
 }
 
 }  // namespace indexmac

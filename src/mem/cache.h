@@ -38,6 +38,13 @@ struct CacheStats {
 };
 
 /// Set-associative, write-back, write-allocate, true-LRU tag array.
+///
+/// Hot-path notes: line size and set count are powers of two, so set/tag
+/// extraction is shift/mask (no divisions), and each set remembers its
+/// most-recently-used way, which is checked before the associative scan —
+/// repeated touches of the same line (streaming kernels, multi-line
+/// accesses) hit without scanning. Both are pure shortcuts: hit/miss,
+/// victim choice and statistics are identical to the plain LRU scan.
 class Cache {
  public:
   explicit Cache(const CacheConfig& config);
@@ -66,15 +73,19 @@ class Cache {
   };
 
   [[nodiscard]] std::uint64_t set_index(std::uint64_t addr) const {
-    return (addr / config_.line_bytes) % num_sets_;
+    return (addr >> line_shift_) & set_mask_;
   }
   [[nodiscard]] std::uint64_t tag_of(std::uint64_t addr) const {
-    return addr / config_.line_bytes / num_sets_;
+    return addr >> (line_shift_ + set_shift_);
   }
 
   CacheConfig config_;
   std::uint64_t num_sets_;
-  std::vector<Line> lines_;  ///< num_sets_ x ways, row-major
+  unsigned line_shift_ = 0;       ///< log2(line_bytes)
+  unsigned set_shift_ = 0;        ///< log2(num_sets_)
+  std::uint64_t set_mask_ = 0;    ///< num_sets_ - 1
+  std::vector<Line> lines_;       ///< num_sets_ x ways, row-major
+  std::vector<std::uint32_t> mru_;  ///< per-set most-recently-used way
   std::uint64_t tick_ = 0;
   CacheStats stats_;
 };

@@ -5,13 +5,23 @@
 namespace indexmac {
 
 const MainMemory::Page* MainMemory::find_page(std::uint64_t addr) const {
-  const auto it = pages_.find(addr / kPageBytes);
-  return it == pages_.end() ? nullptr : &it->second;
+  const std::uint64_t key = addr / kPageBytes;
+  if (key == read_page_key_) return read_page_;
+  const auto it = pages_.find(key);
+  read_page_key_ = key;
+  read_page_ = it == pages_.end() ? nullptr : &it->second;
+  return read_page_;
 }
 
 MainMemory::Page& MainMemory::page_for(std::uint64_t addr) {
-  Page& p = pages_[addr / kPageBytes];
+  const std::uint64_t key = addr / kPageBytes;
+  if (key == write_page_key_) return *write_page_;
+  Page& p = pages_[key];
   if (p.empty()) p.resize(kPageBytes, 0);
+  write_page_key_ = key;
+  write_page_ = &p;
+  read_page_key_ = key;  // a cached "absent" entry may just have appeared
+  read_page_ = &p;
   return p;
 }
 
@@ -25,12 +35,29 @@ void MainMemory::write_u8(std::uint64_t addr, std::uint8_t v) {
 }
 
 std::uint32_t MainMemory::read_u32(std::uint64_t addr) const {
+  const std::uint64_t offset = addr % kPageBytes;
+  if (offset + 4 <= kPageBytes) {  // within one page: a single lookup
+    const Page* p = find_page(addr);
+    if (p == nullptr) return 0;
+    const std::uint8_t* b = p->data() + offset;
+    return static_cast<std::uint32_t>(b[0]) | static_cast<std::uint32_t>(b[1]) << 8 |
+           static_cast<std::uint32_t>(b[2]) << 16 | static_cast<std::uint32_t>(b[3]) << 24;
+  }
   std::uint32_t v = 0;
   for (unsigned i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(read_u8(addr + i)) << (8 * i);
   return v;
 }
 
 std::uint64_t MainMemory::read_u64(std::uint64_t addr) const {
+  const std::uint64_t offset = addr % kPageBytes;
+  if (offset + 8 <= kPageBytes) {
+    const Page* p = find_page(addr);
+    if (p == nullptr) return 0;
+    const std::uint8_t* b = p->data() + offset;
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    return v;
+  }
   std::uint64_t v = 0;
   for (unsigned i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(read_u8(addr + i)) << (8 * i);
   return v;
@@ -44,10 +71,22 @@ float MainMemory::read_f32(std::uint64_t addr) const {
 }
 
 void MainMemory::write_u32(std::uint64_t addr, std::uint32_t v) {
+  const std::uint64_t offset = addr % kPageBytes;
+  if (offset + 4 <= kPageBytes) {
+    std::uint8_t* b = page_for(addr).data() + offset;
+    for (unsigned i = 0; i < 4; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    return;
+  }
   for (unsigned i = 0; i < 4; ++i) write_u8(addr + i, static_cast<std::uint8_t>(v >> (8 * i)));
 }
 
 void MainMemory::write_u64(std::uint64_t addr, std::uint64_t v) {
+  const std::uint64_t offset = addr % kPageBytes;
+  if (offset + 8 <= kPageBytes) {
+    std::uint8_t* b = page_for(addr).data() + offset;
+    for (unsigned i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    return;
+  }
   for (unsigned i = 0; i < 8; ++i) write_u8(addr + i, static_cast<std::uint8_t>(v >> (8 * i)));
 }
 

@@ -18,6 +18,14 @@ class MainMemory {
  public:
   static constexpr std::uint64_t kPageBytes = 4096;
 
+  MainMemory() = default;
+  // Non-copyable/movable: the last-page caches below hold raw pointers
+  // into pages_, which a memberwise copy would leave aliasing the source
+  // object. Nothing in the stack copies a memory image; simulations share
+  // one by reference.
+  MainMemory(const MainMemory&) = delete;
+  MainMemory& operator=(const MainMemory&) = delete;
+
   [[nodiscard]] std::uint8_t read_u8(std::uint64_t addr) const;
   [[nodiscard]] std::uint32_t read_u32(std::uint64_t addr) const;
   [[nodiscard]] std::uint64_t read_u64(std::uint64_t addr) const;
@@ -49,6 +57,18 @@ class MainMemory {
   Page& page_for(std::uint64_t addr);
 
   std::unordered_map<std::uint64_t, Page> pages_;
+  // Last-touched page per direction. Page addresses are stable (the map
+  // never erases and rehashing preserves element addresses), so the cached
+  // pointers can only go stale in one way — a cached "absent" read entry
+  // whose page a later write materializes — and page_for refreshes the
+  // read cache to cover it. Accessors stay O(1) without hashing across the
+  // same-page streaks simulations produce. Note: the mutable read cache
+  // makes concurrent use of a single MainMemory unsafe (each simulation
+  // owns its memory; see core::BatchRunner).
+  mutable std::uint64_t read_page_key_ = ~0ull;
+  mutable const Page* read_page_ = nullptr;
+  std::uint64_t write_page_key_ = ~0ull;
+  Page* write_page_ = nullptr;
 };
 
 /// Bump allocator that hands out cache-line-aligned regions of the simulated

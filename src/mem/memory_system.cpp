@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/bitutil.h"
+
 namespace indexmac {
 
 MemorySystem::MemorySystem(const MemHierConfig& config)
@@ -9,6 +11,8 @@ MemorySystem::MemorySystem(const MemHierConfig& config)
       l1i_(config.l1i),
       l1d_(config.l1d),
       l2_(config.l2),
+      l2_line_shift_(log2_exact(config.l2.line_bytes)),
+      l1i_line_shift_(log2_exact(config.l1i.line_bytes)),
       l2_bank_free_(config.l2_banks, 0) {
   IMAC_CHECK(config.l2_banks > 0, "L2 needs at least one bank");
 }
@@ -25,19 +29,23 @@ std::uint64_t MemorySystem::dram_line(std::uint64_t line_addr, std::uint64_t cyc
   ++stats_.dram_lines;
   if (inflight_fills_.size() > 4096) inflight_fills_.clear();  // bound the merge window
   inflight_fills_[line_addr] = ready;
+  inflight_max_ready_ = std::max(inflight_max_ready_, ready);
   return ready;
 }
 
 std::uint64_t MemorySystem::pending_fill(std::uint64_t line_addr, std::uint64_t cycle) const {
   // A tag-array hit on a line whose DRAM fill is still in flight must wait
-  // for the fill (the tag allocates at miss time in this model).
+  // for the fill (the tag allocates at miss time in this model). Once
+  // `cycle` is past every in-flight ready time no entry can delay it, so
+  // the common steady-state hit skips the hash lookup.
+  if (cycle >= inflight_max_ready_) return cycle;
   const auto it = inflight_fills_.find(line_addr);
   return (it != inflight_fills_.end() && cycle < it->second) ? it->second : cycle;
 }
 
 std::uint64_t MemorySystem::l2_line(std::uint64_t line_addr, bool is_store, std::uint64_t cycle) {
   const std::uint64_t bank_count = l2_bank_free_.size();
-  const std::uint64_t bank = (line_addr / config_.l2.line_bytes) % bank_count;
+  const std::uint64_t bank = (line_addr >> l2_line_shift_) % bank_count;
   const std::uint64_t start = std::max(cycle, l2_bank_free_[bank]);
   l2_bank_free_[bank] = start + config_.l2_bank_occupancy;
 
@@ -49,11 +57,11 @@ std::uint64_t MemorySystem::l2_line(std::uint64_t line_addr, bool is_store, std:
 
 template <typename Fn>
 std::uint64_t MemorySystem::for_lines(std::uint64_t addr, unsigned bytes, Fn&& fn) {
-  const std::uint64_t line = config_.l2.line_bytes;
   std::uint64_t done = 0;
-  std::uint64_t first = addr / line;
-  std::uint64_t last = (addr + std::max(bytes, 1u) - 1) / line;
-  for (std::uint64_t l = first; l <= last; ++l) done = std::max(done, fn(l * line));
+  const std::uint64_t first = addr >> l2_line_shift_;
+  const std::uint64_t last = (addr + std::max(bytes, 1u) - 1) >> l2_line_shift_;
+  for (std::uint64_t l = first; l <= last; ++l)
+    done = std::max(done, fn(l << l2_line_shift_));
   return done;
 }
 
@@ -78,7 +86,7 @@ std::uint64_t MemorySystem::vector_data(std::uint64_t addr, unsigned bytes, bool
 
 std::uint64_t MemorySystem::ifetch(std::uint64_t addr, std::uint64_t cycle) {
   ++stats_.ifetch_lines;
-  const std::uint64_t line_addr = addr / config_.l1i.line_bytes * config_.l1i.line_bytes;
+  const std::uint64_t line_addr = addr >> l1i_line_shift_ << l1i_line_shift_;
   const CacheLineResult r = l1i_.access(line_addr, /*is_store=*/false);
   const std::uint64_t tag_done = cycle + config_.l1i.hit_latency;
   if (r.hit) return tag_done;
@@ -95,6 +103,7 @@ void MemorySystem::reset() {
   std::fill(l2_bank_free_.begin(), l2_bank_free_.end(), 0);
   dram_channel_free_ = 0;
   inflight_fills_.clear();
+  inflight_max_ready_ = 0;
   stats_ = MemStats{};
 }
 

@@ -93,9 +93,15 @@ class MemorySystem {
   Cache l1i_;
   Cache l1d_;
   Cache l2_;
+  unsigned l2_line_shift_ = 0;  ///< log2(l2.line_bytes): bank/line math without divisions
+  unsigned l1i_line_shift_ = 0;
   std::vector<std::uint64_t> l2_bank_free_;
   std::uint64_t dram_channel_free_ = 0;
   std::unordered_map<std::uint64_t, std::uint64_t> inflight_fills_;  ///< line -> ready cycle
+  /// Upper bound on every ready cycle in inflight_fills_: accesses at or
+  /// past it skip the hash lookup entirely (pure fast path; stale entries
+  /// would have returned `cycle` unchanged anyway).
+  std::uint64_t inflight_max_ready_ = 0;
   MemStats stats_;
 };
 

@@ -1,6 +1,7 @@
 // Small helper resources for the timestamp-dataflow timing model.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -20,15 +21,38 @@ class PortScheduler {
   }
 
   /// Returns the first cycle >= earliest with a free port and claims it.
+  ///
+  /// Requests whose `earliest` lags behind the claim frontier (the common
+  /// case: fetch restarts only on mispredicts, so `earliest` stays put
+  /// while the frontier advances) would otherwise rescan every
+  /// already-full cycle per claim — O(window) per instruction, quadratic
+  /// per run. The scheduler caches one known-full interval
+  /// [full_from_, full_until_) that tracks the active claim frontier:
+  /// claims landing inside it jump straight past its end. This is a pure
+  /// scan shortcut — the returned cycle is identical to the plain scan's.
   std::uint64_t claim(std::uint64_t earliest) {
     if (earliest < base_) earliest = base_;
+    if (earliest >= full_from_ && earliest < full_until_) earliest = full_until_;
     advance_window(earliest);
+    const std::uint64_t scan_start = earliest;
     std::uint64_t cycle = earliest;
     while (true) {
       advance_window(cycle);
       std::uint8_t& used = used_[cycle % used_.size()];
       if (used < width_) {
         ++used;
+        // The scan proved [scan_start, cycle) full — plus `cycle` itself
+        // if this claim just filled it. Fold that into the cached
+        // interval: merge when they touch, else move the cache to the
+        // newer (righter) region, which is where future claims land.
+        const std::uint64_t known_end = cycle + (used == width_ ? 1 : 0);
+        if (scan_start <= full_until_ && full_from_ <= known_end) {
+          full_from_ = std::min(full_from_, scan_start);
+          full_until_ = std::max(full_until_, known_end);
+        } else if (scan_start > full_until_) {
+          full_from_ = scan_start;
+          full_until_ = known_end;
+        }
         return cycle;
       }
       ++cycle;
@@ -37,18 +61,28 @@ class PortScheduler {
 
  private:
   void advance_window(std::uint64_t cycle) {
-    // Slide the window forward so `cycle` is representable.
+    // Slide the window forward so `cycle` is representable. The recycled
+    // slots are zeroed range-wise (the ring maps them to at most two
+    // contiguous spans) rather than one modulo at a time.
     const std::uint64_t window = used_.size();
     if (cycle < base_ + window) return;
     const std::uint64_t new_base = cycle - window / 2;
-    for (std::uint64_t c = base_; c < new_base && c < base_ + window; ++c)
-      used_[c % window] = 0;
+    const std::uint64_t count = std::min(new_base - base_, window);
+    const std::uint64_t first = base_ % window;
+    const std::uint64_t head = std::min(count, window - first);
+    std::fill_n(used_.begin() + static_cast<std::ptrdiff_t>(first), head, std::uint8_t{0});
+    std::fill_n(used_.begin(), count - head, std::uint8_t{0});
     base_ = new_base;
+    if (full_until_ < base_) full_from_ = full_until_ = base_;
+    else if (full_from_ < base_) full_from_ = base_;
   }
 
   unsigned width_;
   std::vector<std::uint8_t> used_;
   std::uint64_t base_ = 0;
+  // Every cycle in [full_from_, full_until_) is known to be fully claimed.
+  std::uint64_t full_from_ = 0;
+  std::uint64_t full_until_ = 0;
 };
 
 /// A pool of N slots each held until a completion time (ROB, LSQ, queues).
@@ -68,7 +102,7 @@ class SlotPool {
   /// Claims the next slot, holding it until `release_cycle`.
   void claim(std::uint64_t release_cycle) {
     free_at_[next_] = release_cycle;
-    next_ = (next_ + 1) % free_at_.size();
+    if (++next_ == free_at_.size()) next_ = 0;
   }
 
   void reset() {

@@ -44,22 +44,34 @@ class Model {
     x_ready_.fill(0);
     f_ready_.fill(0);
     v_ready_.fill(0);
+    // Resolve the per-class vector-engine latencies once; the per-op
+    // switch in process_vector becomes a table lookup.
+    vlat_cycles_[static_cast<int>(isa::VLatClass::kNone)] = config_.vector.alu_latency;
+    vlat_cycles_[static_cast<int>(isa::VLatClass::kAlu)] = config_.vector.alu_latency;
+    vlat_cycles_[static_cast<int>(isa::VLatClass::kMac)] = config_.vector.mac_latency;
+    vlat_cycles_[static_cast<int>(isa::VLatClass::kSlide)] = config_.vector.slide_latency;
+    vlat_cycles_[static_cast<int>(isa::VLatClass::kMove)] = config_.vector.move_latency;
+    vlat_cycles_[static_cast<int>(isa::VLatClass::kReduction)] =
+        config_.vector.reduction_latency;
   }
 
   void run(std::uint64_t max_instructions) {
+    DynInst d;
     for (std::uint64_t n = 0; n < max_instructions; ++n) {
-      const auto dyn = trace_.next();
-      if (!dyn) {
-        raise("timing: trace ended without a halt instruction");
+      if (!trace_.next(d)) {
+        raise("timing: trace ended without a halt instruction at " +
+              describe_pc(machine_.program(), machine_.state().pc));
       }
-      process(*dyn);
-      if (dyn->is_halt) {
+      process(d);
+      if (d.is_halt) {
         stats_.instructions = n + 1;
         stats_.mem = mem_.stats();
         return;
       }
     }
-    raise("timing: instruction budget exhausted (runaway program?)");
+    raise("timing: instruction budget of " + std::to_string(max_instructions) +
+          " exhausted (runaway program?) at " +
+          describe_pc(machine_.program(), machine_.state().pc));
   }
 
  private:
@@ -72,11 +84,12 @@ class Model {
   }
 
   std::uint64_t scalar_srcs(const DynInst& d) const {
+    const std::uint32_t flags = d.info->flags;
     std::uint64_t ready = 0;
-    if (isa::reads_x_rs1(d.inst)) ready = std::max(ready, xr(d.inst.rs1));
-    if (isa::reads_x_rs2(d.inst)) ready = std::max(ready, xr(d.inst.rs2));
-    if (isa::reads_f_rs1(d.inst)) ready = std::max(ready, f_ready_[d.inst.rs1]);
-    if (d.inst.op == Op::kFsw) ready = std::max(ready, f_ready_[d.inst.rs2]);
+    if (flags & isa::kSiReadsXRs1) ready = std::max(ready, xr(d.inst.rs1));
+    if (flags & isa::kSiReadsXRs2) ready = std::max(ready, xr(d.inst.rs2));
+    if (flags & isa::kSiReadsFRs1) ready = std::max(ready, f_ready_[d.inst.rs1]);
+    if (flags & isa::kSiReadsFRs2) ready = std::max(ready, f_ready_[d.inst.rs2]);
     return ready;
   }
 
@@ -96,8 +109,6 @@ class Model {
   // ---- per-instruction model ----
 
   void process(const DynInst& d) {
-    const Op op = d.inst.op;
-
     // Front end: fetch slot (stalled after a mispredict), fixed depth to
     // dispatch, ROB entry must be free.
     const std::uint64_t fetch = fetch_ports_.claim(fetch_blocked_until_);
@@ -106,7 +117,7 @@ class Model {
     std::uint64_t ready = 0;          // ROB-completion cycle
     bool is_store_commit = false;     // scalar stores write at commit
 
-    if (isa::is_vector(op)) {
+    if (d.info->has(isa::kSiVector)) {
       ready = process_vector(d, disp);
       ++stats_.vector_instructions;
     } else {
@@ -134,9 +145,10 @@ class Model {
 
   std::uint64_t process_scalar(const DynInst& d, std::uint64_t disp, bool& is_store_commit) {
     const Op op = d.inst.op;
+    const std::uint32_t flags = d.info->flags;
     const std::uint64_t srcs = scalar_srcs(d);
 
-    if (isa::is_scalar_load(op)) {
+    if (flags & isa::kSiScalarLoad) {
       const std::uint64_t avail = lsq_.available(disp);
       const std::uint64_t issue = issue_ports_.claim(std::max(avail, srcs));
       std::uint64_t done = forward_from_stores(d.mem_addr, d.mem_bytes, issue);
@@ -149,19 +161,19 @@ class Model {
       return done;
     }
 
-    if (isa::is_scalar_store(op)) {
+    if (flags & isa::kSiScalarStore) {
       const std::uint64_t avail = lsq_.available(disp);
       const std::uint64_t issue = issue_ports_.claim(std::max(avail, srcs));
       is_store_commit = true;  // LSQ entry + write handled at commit
       return issue + 1;
     }
 
-    if (isa::is_branch(op) || isa::is_jump(op)) {
+    if (flags & (isa::kSiBranch | isa::kSiJump)) {
       const std::uint64_t issue = issue_ports_.claim(std::max(disp, srcs));
       const std::uint64_t resolve = issue + config_.scalar.alu_latency;
       // Static BTFNT predictor for conditional branches; direct jumps and
       // returns are assumed predicted (decode target / return stack).
-      if (isa::is_branch(op)) {
+      if (flags & isa::kSiBranch) {
         const bool predicted_taken = d.inst.imm < 0;
         if (predicted_taken != d.branch_taken) {
           ++stats_.branch_mispredicts;
@@ -170,11 +182,11 @@ class Model {
         }
       }
       last_branch_resolve_ = std::max(last_branch_resolve_, resolve);
-      if (isa::is_jump(op)) set_x(d.inst.rd, resolve);
+      if (flags & isa::kSiJump) set_x(d.inst.rd, resolve);
       return resolve;
     }
 
-    if (op == Op::kEbreak || op == Op::kEcall || op == Op::kMarker) {
+    if (flags & (isa::kSiHalt | isa::kSiMarker)) {
       // Architectural no-ops: occupy a dispatch slot, complete immediately.
       return disp;
     }
@@ -214,56 +226,15 @@ class Model {
     send = queue_ready;
     last_vector_send_ = send;
 
-    // Engine-side in-order issue with register-granular scoreboarding.
+    // Engine-side in-order issue with register-granular scoreboarding; the
+    // per-op source sets are predecoded into StaticInstInfo::vreg_reads.
+    const std::uint8_t vreads = d.info->vreg_reads;
     std::uint64_t deps = 0;
-    auto need = [&](unsigned vreg) { deps = std::max(deps, v_ready_[vreg]); };
-    switch (op) {
-      case Op::kVle32:
-        break;  // writes vd only
-      case Op::kVse32:
-        need(d.inst.rd);  // vs3 lives in the rd slot
-        break;
-      case Op::kVaddVx:
-      case Op::kVaddVi:
-      case Op::kVslidedownVx:
-      case Op::kVslidedownVi:
-      case Op::kVslide1downVx:
-      case Op::kVluxei32:
-        need(d.inst.rs2);
-        break;
-      case Op::kVaddVV:
-      case Op::kVfaddVV:
-      case Op::kVmulVV:
-      case Op::kVfmulVV:
-      case Op::kVredsumVS:
-      case Op::kVfredusumVS:
-        need(d.inst.rs1);
-        need(d.inst.rs2);
-        break;
-      case Op::kVmaccVx:
-      case Op::kVfmaccVf:
-        need(d.inst.rd);
-        need(d.inst.rs2);
-        break;
-      case Op::kVindexmacVx:
-      case Op::kVfindexmacVx:
-        need(d.inst.rd);
-        need(d.inst.rs2);
-        need(d.indirect_vreg);  // the indirect VRF read
-        break;
-      case Op::kVmvXS:
-      case Op::kVfmvFS:
-        need(d.inst.rs2);
-        break;
-      case Op::kVmvVX:
-      case Op::kVmvVI:
-        break;
-      case Op::kVmvSX:
-        need(d.inst.rd);  // merges into vd[0]
-        break;
-      default:
-        raise("timing: unhandled vector op");
-    }
+    if (vreads & isa::kVReadRd) deps = std::max(deps, v_ready_[d.inst.rd]);
+    if (vreads & isa::kVReadRs1) deps = std::max(deps, v_ready_[d.inst.rs1]);
+    if (vreads & isa::kVReadRs2) deps = std::max(deps, v_ready_[d.inst.rs2]);
+    if (d.info->has(isa::kSiIndirectVreg))
+      deps = std::max(deps, v_ready_[d.indirect_vreg]);  // the indirect VRF read
 
     const std::uint64_t occupancy =
         std::max<std::uint64_t>(1, ceil_div(std::max<std::uint32_t>(d.vl, 1), vc.lanes));
@@ -271,11 +242,11 @@ class Model {
 
     std::uint64_t ready_for_rob = send;  // most vector ops complete at send
 
-    if (op == Op::kVluxei32) {
+    if (d.info->has(isa::kSiGather)) {
       // Gather: one element access per address, a few addresses per cycle.
       e_issue = std::max(e_issue, vlq_.available(e_issue));
       std::uint64_t done = e_issue + 1;
-      for (std::size_t i = 0; i < d.gather_addrs.size(); ++i) {
+      for (std::uint32_t i = 0; i < d.gather_count; ++i) {
         const std::uint64_t start = e_issue + 1 + i / vc.gather_lanes;
         done = std::max(done, mem_.vector_data(d.gather_addrs[i], 4, false, start));
       }
@@ -288,7 +259,7 @@ class Model {
       viq_.claim(e_issue);
       return ready_for_rob;
     }
-    if (op == Op::kVle32) {
+    if (d.info->has(isa::kSiVectorLoad)) {  // vle32 (the gather returned above)
       e_issue = std::max(e_issue, vlq_.available(e_issue));
       const std::uint64_t done =
           d.mem_bytes == 0 ? e_issue + 1
@@ -296,14 +267,14 @@ class Model {
       vlq_.claim(done);
       v_ready_[d.inst.rd] = done;
       ++stats_.vector_loads;
-    } else if (op == Op::kVse32) {
+    } else if (d.info->has(isa::kSiVectorStore)) {
       e_issue = std::max(e_issue, vsq_.available(e_issue));
       const std::uint64_t done =
           d.mem_bytes == 0 ? e_issue + 1
                            : mem_.vector_data(d.mem_addr, d.mem_bytes, true, e_issue + 1);
       vsq_.claim(done);
       ++stats_.vector_stores;
-    } else if (op == Op::kVmvXS || op == Op::kVfmvFS) {
+    } else if (d.info->has(isa::kSiVectorToScalar)) {
       const std::uint64_t returned = e_issue + vc.move_latency + vc.to_scalar_latency;
       if (op == Op::kVmvXS)
         set_x(d.inst.rd, returned);
@@ -312,36 +283,8 @@ class Model {
       ready_for_rob = returned;  // commits only once the value is back
       ++stats_.vector_to_scalar_moves;
     } else {
-      unsigned latency = vc.alu_latency;
-      switch (op) {
-        case Op::kVmaccVx:
-        case Op::kVfmaccVf:
-        case Op::kVindexmacVx:
-        case Op::kVfindexmacVx:
-          latency = vc.mac_latency;
-          ++stats_.vector_macs;
-          break;
-        case Op::kVslidedownVx:
-        case Op::kVslidedownVi:
-        case Op::kVslide1downVx:
-          latency = vc.slide_latency;
-          break;
-        case Op::kVmvVX:
-        case Op::kVmvVI:
-        case Op::kVmvSX:
-          latency = vc.move_latency;
-          break;
-        case Op::kVmulVV:
-        case Op::kVfmulVV:
-          latency = vc.mac_latency;
-          break;
-        case Op::kVredsumVS:
-        case Op::kVfredusumVS:
-          latency = vc.reduction_latency;
-          break;
-        default:
-          break;
-      }
+      const unsigned latency = vlat_cycles_[static_cast<int>(d.info->vlat)];
+      if (d.info->has(isa::kSiVectorMac)) ++stats_.vector_macs;
       v_ready_[d.inst.rd] = e_issue + latency;
     }
 
@@ -368,6 +311,9 @@ class Model {
   std::array<std::uint64_t, isa::kNumVRegs> v_ready_{};
   std::array<PendingStore, 16> store_ring_{};
   std::size_t store_ring_next_ = 0;
+
+  /// Engine latency per isa::VLatClass, resolved from the config once.
+  std::array<unsigned, static_cast<int>(isa::VLatClass::kCount)> vlat_cycles_{};
 
   std::uint64_t fetch_blocked_until_ = 0;
   std::uint64_t last_commit_ = 0;

@@ -3,76 +3,107 @@
 // addresses, vector lengths and resolved vindexmac register indices.
 // Wrong-path (mis-speculated) instructions are not simulated; the branch
 // mispredict penalty models the front-end refill (see DESIGN.md).
+//
+// The trace is zero-allocation: next() fills a caller-owned DynInst slot in
+// place, and gather addresses live in a fixed scratch buffer owned by the
+// TraceSource (vl never exceeds isa::kVlMax), so retiring an instruction —
+// gathers included — performs no heap allocation.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <optional>
-#include <vector>
 
+#include "common/error.h"
 #include "fsim/machine.h"
 #include "isa/isa.h"
+#include "isa/static_info.h"
 
 namespace indexmac::timing {
 
 /// One dynamic (executed) instruction with everything timing needs.
+/// `info` and `gather_addrs` point into Program / TraceSource storage; a
+/// DynInst is only valid until the next TraceSource::next() call.
 struct DynInst {
   isa::Instruction inst;
+  const isa::StaticInstInfo* info = nullptr;  ///< predecoded metadata for inst
   std::uint64_t pc = 0;
   bool branch_taken = false;        ///< branches/jumps: control transferred
+  bool is_halt = false;             ///< ebreak/ecall
   std::uint64_t mem_addr = 0;       ///< loads/stores: effective address
   std::uint32_t mem_bytes = 0;      ///< loads/stores: access size
   std::uint32_t vl = 0;             ///< vector length governing this op
   std::uint8_t indirect_vreg = 0;   ///< vindexmac: resolved VRF source
-  std::vector<std::uint64_t> gather_addrs;  ///< vluxei32: per-element addresses
+  std::uint32_t gather_count = 0;   ///< vluxei32: number of element addresses
+  const std::uint64_t* gather_addrs = nullptr;  ///< vluxei32: per-element addresses
   std::int32_t marker_id = -1;      ///< markers: id, else -1
-  bool is_halt = false;             ///< ebreak/ecall
 };
 
 /// Pulls dynamic instructions from a functional Machine, one per step.
 class TraceSource {
  public:
-  explicit TraceSource(Machine& machine) : machine_(machine) {}
+  explicit TraceSource(Machine& machine)
+      : machine_(machine),
+        code_(machine.program().decoded().data()),
+        info_(machine.program().static_info().data()),
+        base_(machine.program().base()),
+        code_bytes_(machine.program().end() - machine.program().base()) {}
 
-  /// Returns the next executed instruction, or nullopt after the halt
-  /// instruction has been delivered (the halt itself is delivered with
-  /// is_halt=true).
-  std::optional<DynInst> next() {
-    if (done_) return std::nullopt;
+  /// Fills `out` with the next executed instruction and returns true, or
+  /// returns false after the halt instruction has been delivered (the halt
+  /// itself is delivered with is_halt=true). `out.gather_addrs` aliases
+  /// scratch storage owned by this TraceSource: it is overwritten by the
+  /// following next() call and must not outlive it.
+  bool next(DynInst& out) {
+    if (done_) return false;
     const ArchState& pre = machine_.state();
     const std::uint64_t pc = pre.pc;
-    DynInst out;
-    out.inst = machine_.program().at(pc);
+    const std::uint64_t offset = pc - base_;  // wraps huge when pc < base
+    if (offset >= code_bytes_ || (offset & 3) != 0)
+      raise("trace: " + describe_pc(machine_.program(), pc));
+    const std::size_t slot = offset >> 2;
+    const isa::Instruction& in = code_[slot];
+    const isa::StaticInstInfo& si = info_[slot];
+    out.inst = in;
+    out.info = &si;
     out.pc = pc;
     out.vl = pre.vl;
-    const isa::Instruction& in = out.inst;
-    using isa::Op;
-    if (in.op == Op::kVluxei32) {
+    out.mem_addr = 0;
+    out.mem_bytes = 0;
+    out.indirect_vreg = 0;
+    out.gather_count = 0;
+    out.gather_addrs = gather_scratch_.data();
+    out.marker_id = -1;
+    if (si.has(isa::kSiGather)) {
       const std::uint64_t base = pre.x[in.rs1];
-      out.gather_addrs.reserve(pre.vl);
-      for (unsigned i = 0; i < pre.vl; ++i)
-        out.gather_addrs.push_back(base + pre.v[in.rs2][i]);
+      for (unsigned i = 0; i < pre.vl; ++i) gather_scratch_[i] = base + pre.v[in.rs2][i];
+      out.gather_count = pre.vl;
       out.mem_bytes = pre.vl * 4;
-    } else if (isa::is_scalar_load(in.op) || isa::is_scalar_store(in.op)) {
+    } else if (si.has(isa::kSiScalarLoad | isa::kSiScalarStore)) {
       out.mem_addr = pre.x[in.rs1] + static_cast<std::int64_t>(in.imm);
-      out.mem_bytes = (in.op == Op::kLd || in.op == Op::kSd) ? 8 : 4;
-    } else if (isa::is_vector_load(in.op) || isa::is_vector_store(in.op)) {
+      out.mem_bytes = si.scalar_mem_bytes;
+    } else if (si.has(isa::kSiVectorLoad | isa::kSiVectorStore)) {
       out.mem_addr = pre.x[in.rs1];
       out.mem_bytes = pre.vl * 4;
-    } else if (in.op == Op::kVindexmacVx || in.op == Op::kVfindexmacVx) {
+    } else if (si.has(isa::kSiIndirectVreg)) {
       out.indirect_vreg = static_cast<std::uint8_t>(pre.x[in.rs1] & 0x1f);
-    } else if (in.op == Op::kMarker) {
+    } else if (si.has(isa::kSiMarker)) {
       out.marker_id = in.imm;
     }
     const StopReason stop = machine_.step();
-    out.branch_taken = (isa::is_branch(in.op) || isa::is_jump(in.op)) &&
-                       machine_.state().pc != pc + 4;
+    out.branch_taken =
+        si.has(isa::kSiBranch | isa::kSiJump) && machine_.state().pc != pc + 4;
     out.is_halt = stop == StopReason::kEbreak || stop == StopReason::kEcall;
     done_ = out.is_halt;
-    return out;
+    return true;
   }
 
  private:
   Machine& machine_;
+  const isa::Instruction* code_;
+  const isa::StaticInstInfo* info_;
+  std::uint64_t base_;
+  std::uint64_t code_bytes_;
+  std::array<std::uint64_t, isa::kVlMax> gather_scratch_{};
   bool done_ = false;
 };
 

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Compare a sim_throughput report against the checked-in baseline.
+
+Usage: check_throughput.py CURRENT.json BASELINE.json [--max-drop PCT]
+
+Prints a per-scenario table and emits a GitHub Actions ::warning
+annotation for every scenario whose MIPS dropped more than --max-drop
+percent (default 20) below the baseline. Always exits 0: the check is a
+soft gate — CI hardware varies, so regressions warn rather than fail,
+and the uploaded BENCH_sim_throughput.json artifact carries the numbers.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    return {s["name"]: s for s in doc.get("scenarios", [])}, doc
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--max-drop", type=float, default=20.0,
+                        help="warn when MIPS drops more than this percent")
+    args = parser.parse_args()
+
+    current, current_doc = load(args.current)
+    baseline, _ = load(args.baseline)
+
+    warnings = 0
+    print(f"{'scenario':<16} {'baseline':>10} {'current':>10} {'delta':>8}")
+    for name, base in baseline.items():
+        cur = current.get(name)
+        if cur is None:
+            print(f"{name:<16} {base['mips']:>10.2f} {'missing':>10}")
+            print(f"::warning::sim_throughput scenario '{name}' missing from current run")
+            warnings += 1
+            continue
+        delta = (cur["mips"] - base["mips"]) / base["mips"] * 100.0
+        print(f"{name:<16} {base['mips']:>10.2f} {cur['mips']:>10.2f} {delta:>+7.1f}%")
+        if delta < -args.max_drop:
+            print(f"::warning::sim_throughput regression: {name} at {cur['mips']:.2f} MIPS, "
+                  f"{-delta:.1f}% below the {base['mips']:.2f} MIPS baseline "
+                  f"(threshold {args.max_drop:.0f}%)")
+            warnings += 1
+    sweep = current_doc.get("canonical_sweep_seconds")
+    if sweep is not None:
+        print(f"{'tiny_sweep':<16} {'':>10} {sweep:>9.4f}s")
+    print(f"{warnings} warning(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

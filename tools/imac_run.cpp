@@ -24,6 +24,7 @@
 #include "asm/text_assembler.h"
 #include "common/error.h"
 #include "common/format.h"
+#include "core/batch.h"
 #include "core/sweep.h"
 #include "fsim/machine.h"
 #include "fsim/tracer.h"
@@ -38,7 +39,7 @@ void usage(std::FILE* out) {
                "usage: imac_run <subcommand> [args]\n"
                "\n"
                "subcommands:\n"
-               "  run [--timing] [--trace] [--max-steps N] [--dump-regs] file.s\n"
+               "  run [--timing] [--trace] [--max-steps N] [--dump-regs] [--threads N] file.s\n"
                "      Assembles file.s (the library's RISC-V subset, including\n"
                "      vindexmac.vx) and executes it; programs halt with ebreak.\n"
                "      --timing       run on the cycle-level timing model\n"
@@ -49,6 +50,11 @@ void usage(std::FILE* out) {
                "      Runs the sweep described by spec.json (see README: sweep specs)\n"
                "      on a parallel BatchRunner pool and writes the report to stdout\n"
                "      or --out.\n"
+               "\n"
+               "  --threads N (run, sweep) sets the worker-pool width for any batched\n"
+               "  work. It mirrors the INDEXMAC_THREADS environment variable — same\n"
+               "  [1, 1024] validation, rejecting anything else — and wins over it\n"
+               "  when both are given.\n"
                "  list-workloads [suite]\n"
                "      Lists the registered workload suites, or one suite's layers.\n"
                "  report file.csv\n"
@@ -83,6 +89,9 @@ int cmd_run(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--dump-regs") == 0) dump_regs = true;
     else if (std::strcmp(argv[i], "--max-steps") == 0 && i + 1 < argc)
       max_steps = std::strtoull(argv[++i], nullptr, 10);
+    else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      // Throws SimError (caught in main) on anything outside [1, 1024].
+      core::BatchRunner::set_thread_override(core::BatchRunner::parse_thread_count(argv[++i]));
     else if (argv[i][0] != '-' && path == nullptr) path = argv[i];
     else {
       usage(stderr);
@@ -157,17 +166,11 @@ int cmd_sweep(int argc, char** argv) {
     if (std::strcmp(argv[i], "--spec") == 0 && i + 1 < argc) spec_path = argv[++i];
     else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
     else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      // Same strictness as INDEXMAC_THREADS: a silently-mangled typo would
-      // run the sweep at an unintended width (0 = default pool size).
-      const char* value = argv[++i];
-      char* end = nullptr;
-      const unsigned long parsed = std::strtoul(value, &end, 10);
-      if (end == value || *end != '\0' || parsed > core::BatchRunner::kMaxThreads) {
-        std::fprintf(stderr, "imac_run sweep: --threads must be an integer in [0, %u], got %s\n",
-                     core::BatchRunner::kMaxThreads, value);
-        return 2;
-      }
-      threads = static_cast<unsigned>(parsed);
+      // Same strictness as INDEXMAC_THREADS (throws SimError on anything
+      // outside [1, 1024]): a silently-mangled typo would run the sweep at
+      // an unintended width.
+      threads = core::BatchRunner::parse_thread_count(argv[++i]);
+      core::BatchRunner::set_thread_override(threads);
     }
     else if (std::strcmp(argv[i], "--format") == 0 && i + 1 < argc) {
       const char* fmt = argv[++i];
