@@ -1,6 +1,7 @@
 // Bit-manipulation helpers used by the ISA encoder/decoder and simulators.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "common/error.h"
@@ -55,5 +56,18 @@ constexpr std::uint64_t round_up(std::uint64_t v, std::uint64_t m) {
 
 /// Ceiling division for positive integers.
 constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) { return (a + b - 1) / b; }
+
+/// CRC-32 (reflected polynomial 0xEDB88320, the zlib/PNG variant) over
+/// `size` bytes, seedable for incremental computation. Guards the
+/// result-store journal records against on-disk corruption.
+inline std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed = 0) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc ^= bytes[i];
+    for (int b = 0; b < 8; ++b) crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+  }
+  return ~crc;
+}
 
 }  // namespace indexmac

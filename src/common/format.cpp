@@ -1,7 +1,8 @@
 #include "common/format.h"
 
-#include <cstdio>
+#include <charconv>
 #include <sstream>
+#include <system_error>
 
 #include "common/error.h"
 
@@ -43,10 +44,35 @@ std::string TextTable::to_string() const {
   return out.str();
 }
 
+namespace {
+
+/// std::to_chars with a given chars_format; the buffer covers any double
+/// at the precisions used in this codebase (<= 64 significant chars).
+std::string to_chars_double(double v, std::chars_format fmt, int precision) {
+  char buf[512];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v, fmt, precision);
+  IMAC_ASSERT(ec == std::errc{}, "double formatting buffer exhausted");
+  return std::string(buf, ptr);
+}
+
+}  // namespace
+
 std::string fmt_fixed(double v, int digits) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
-  return buf;
+  return to_chars_double(v, std::chars_format::fixed, digits);
+}
+
+std::string fmt_general(double v, int precision) {
+  return to_chars_double(v, std::chars_format::general, precision);
+}
+
+double parse_double(const std::string& text, const char* what) {
+  double value = 0;
+  const char* first = text.data();
+  const char* last = first + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  IMAC_CHECK(ec == std::errc{} && ptr == last && !text.empty(),
+             std::string("bad ") + what + " \"" + text + "\" (expected a C-locale number)");
+  return value;
 }
 
 std::string fmt_speedup(double v) { return fmt_fixed(v, 2) + "x"; }

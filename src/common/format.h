@@ -27,8 +27,21 @@ class TextTable {
   std::vector<std::vector<std::string>> rows_;
 };
 
-/// Formats a double with `digits` decimal places (no locale surprises).
+/// Formats a double with `digits` decimal places. Locale-independent: the
+/// decimal separator is always '.', regardless of LC_NUMERIC — CSV/JSON
+/// reports and golden byte-for-byte diffs must not drift on comma-decimal
+/// locales (implemented on std::to_chars, never printf).
 [[nodiscard]] std::string fmt_fixed(double v, int digits);
+
+/// Shortest-form general formatting, equivalent to printf("%.*g") in the
+/// C locale (std::to_chars, chars_format::general). Used for JSON number
+/// emission.
+[[nodiscard]] std::string fmt_general(double v, int precision);
+
+/// Locale-independent full-string double parse (std::from_chars): the
+/// whole of `text` must be one finite-syntax C-locale number. Throws
+/// SimError naming `what` on empty, partial, or malformed input.
+[[nodiscard]] double parse_double(const std::string& text, const char* what);
 
 /// Formats "1.95x"-style speedup cells.
 [[nodiscard]] std::string fmt_speedup(double v);

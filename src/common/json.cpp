@@ -1,8 +1,10 @@
 #include "common/json.h"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <system_error>
 
 namespace indexmac {
 namespace {
@@ -150,15 +152,14 @@ class Parser {
             text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' || text_[pos_] == '-'))
       ++pos_;
     if (pos_ == start) fail("invalid value");
-    std::size_t used = 0;
-    double value = 0;
+    // std::from_chars, not std::stod: stod honours LC_NUMERIC, so under a
+    // comma-decimal locale it would stop at the '.' and silently truncate
+    // every fractional constant in a spec.
     const std::string token = text_.substr(start, pos_ - start);
-    try {
-      value = std::stod(token, &used);
-    } catch (const std::exception&) {
+    double value = 0;
+    const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc{} || ptr != token.data() + token.size())
       fail("invalid number \"" + token + "\"");
-    }
-    if (used != token.size()) fail("invalid number \"" + token + "\"");
     return JsonValue(value);
   }
 
@@ -250,11 +251,18 @@ void JsonValue::dump_to(std::string& out, int indent) const {
     case Kind::kBool: out += bool_ ? "true" : "false"; break;
     case Kind::kNumber: {
       char buf[64];
-      if (number_ == std::floor(number_) && std::abs(number_) < 1e15)
+      if (number_ == std::floor(number_) && std::abs(number_) < 1e15) {
         std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(number_));
-      else
-        std::snprintf(buf, sizeof buf, "%.10g", number_);
-      out += buf;
+        out += buf;
+      } else {
+        // to_chars(general, 10) == printf("%.10g") in the C locale; the
+        // printf form would emit a ',' decimal separator under
+        // comma-decimal LC_NUMERIC and break byte-stable reports.
+        const auto [ptr, ec] =
+            std::to_chars(buf, buf + sizeof buf, number_, std::chars_format::general, 10);
+        IMAC_ASSERT(ec == std::errc{}, "json: number formatting buffer exhausted");
+        out.append(buf, ptr);
+      }
       break;
     }
     case Kind::kString: dump_string(out, string_); break;

@@ -142,11 +142,24 @@ BatchResult run_job(const BatchJob& job) {
   return out;
 }
 
-std::vector<BatchResult> run_batch(BatchRunner& runner, const std::vector<BatchJob>& jobs) {
+std::vector<BatchResult> run_batch(
+    BatchRunner& runner, const std::vector<BatchJob>& jobs,
+    const std::function<void(std::size_t, const BatchResult&)>& on_result) {
   std::vector<std::future<BatchResult>> futures;
   futures.reserve(jobs.size());
-  for (const BatchJob& job : jobs)
-    futures.push_back(runner.submit([job] { return run_job(job); }));
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    // on_result runs on the worker, immediately after its job: journaling
+    // must not be head-of-line blocked behind the collection loop, or a
+    // kill while job 0 (say, one huge GEMM) simulates would lose every
+    // smaller job that already finished. `on_result` and its targets
+    // outlive the blocking collection loop below by construction.
+    const BatchJob& job = jobs[i];
+    futures.push_back(runner.submit([job, i, &on_result] {
+      BatchResult result = run_job(job);
+      if (on_result) on_result(i, result);
+      return result;
+    }));
+  }
 
   std::vector<BatchResult> results(jobs.size());
   std::exception_ptr first_error;
@@ -159,6 +172,10 @@ std::vector<BatchResult> run_batch(BatchRunner& runner, const std::vector<BatchJ
   }
   if (first_error) std::rethrow_exception(first_error);
   return results;
+}
+
+std::vector<BatchResult> run_batch(BatchRunner& runner, const std::vector<BatchJob>& jobs) {
+  return run_batch(runner, jobs, {});
 }
 
 std::vector<BatchResult> run_batch(const std::vector<BatchJob>& jobs, unsigned threads) {

@@ -141,6 +141,18 @@ struct BatchResult {
 [[nodiscard]] std::vector<BatchResult> run_batch(BatchRunner& runner,
                                                  const std::vector<BatchJob>& jobs);
 
+/// Same, but invokes `on_result(i, results[i])` on the worker thread the
+/// moment job i finishes — in completion order, possibly concurrently, so
+/// the callback must be thread-safe. This is the crash-safety hook: the
+/// sweep engine journals every completed measurement through it, and
+/// because it fires at completion (not at collection), a killed process
+/// keeps every job that finished, even while an earlier-submitted job is
+/// still running. `on_result` is never called for a job that threw; an
+/// exception thrown *by* the callback fails that job like a job error.
+[[nodiscard]] std::vector<BatchResult> run_batch(
+    BatchRunner& runner, const std::vector<BatchJob>& jobs,
+    const std::function<void(std::size_t, const BatchResult&)>& on_result);
+
 /// Convenience overload running on a temporary pool (0 = default size).
 [[nodiscard]] std::vector<BatchResult> run_batch(const std::vector<BatchJob>& jobs,
                                                  unsigned threads = 0);

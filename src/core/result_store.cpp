@@ -1,0 +1,217 @@
+#include "core/result_store.h"
+
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "common/bitutil.h"
+#include "common/error.h"
+
+namespace indexmac::core {
+namespace {
+
+constexpr char kMagic[8] = {'I', 'M', 'A', 'C', 'R', 'E', 'S', '\n'};
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::size_t kHeaderBytes = sizeof kMagic + 4;
+/// A record longer than this is certainly a corrupt length field, not a
+/// cache key (keys are ~100 bytes); bounds the replay allocation.
+constexpr std::uint32_t kMaxPayloadBytes = 1u << 20;
+
+// --- little-endian scalar packing (journals must be portable) -------------
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t double_bits(double d) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof bits);
+  return bits;
+}
+
+double bits_double(std::uint64_t bits) {
+  double d = 0;
+  std::memcpy(&d, &bits, sizeof d);
+  return d;
+}
+
+std::string encode_record(const std::string& key, const StoredResult& r) {
+  std::string payload;
+  payload.reserve(4 + key.size() + 16);
+  put_u32(payload, static_cast<std::uint32_t>(key.size()));
+  payload += key;
+  put_u64(payload, double_bits(r.cycles));
+  put_u64(payload, r.data_accesses);
+
+  std::string record;
+  record.reserve(8 + payload.size());
+  put_u32(record, static_cast<std::uint32_t>(payload.size()));
+  put_u32(record, crc32(payload.data(), payload.size()));
+  record += payload;
+  return record;
+}
+
+}  // namespace
+
+ResultStore::ResultStore(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  IMAC_CHECK(!ec && std::filesystem::is_directory(dir),
+             "result store: cannot create directory " + dir);
+  path_ = (std::filesystem::path(dir) / kJournalName).string();
+  replay_journal();
+  file_ = std::fopen(path_.c_str(), "ab");
+  IMAC_CHECK(file_ != nullptr, "result store: cannot open " + path_ + " for append");
+}
+
+ResultStore::~ResultStore() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void ResultStore::replay_journal() {
+  const auto write_fresh_header = [this] {
+    std::FILE* out = std::fopen(path_.c_str(), "wb");
+    IMAC_CHECK(out != nullptr, "result store: cannot create " + path_);
+    std::string header(kMagic, sizeof kMagic);
+    put_u32(header, kFormatVersion);
+    const bool ok = std::fwrite(header.data(), 1, header.size(), out) == header.size();
+    std::fclose(out);
+    IMAC_CHECK(ok, "result store: cannot write header of " + path_);
+  };
+
+  std::FILE* in = std::fopen(path_.c_str(), "rb");
+  if (in == nullptr) {
+    // New journal: write the header so even an empty store identifies its
+    // format version.
+    write_fresh_header();
+    return;
+  }
+
+  // Read the whole journal; stores are metric-sized (bytes per simulated
+  // point), never bulk data.
+  std::vector<unsigned char> bytes;
+  std::fseek(in, 0, SEEK_END);
+  const long file_size = std::ftell(in);
+  std::fseek(in, 0, SEEK_SET);
+  bytes.resize(file_size > 0 ? static_cast<std::size_t>(file_size) : 0);
+  if (!bytes.empty() && std::fread(bytes.data(), 1, bytes.size(), in) != bytes.size()) {
+    std::fclose(in);
+    raise("result store: cannot read " + path_);
+  }
+  std::fclose(in);
+
+  std::string full_header(kMagic, sizeof kMagic);
+  put_u32(full_header, kFormatVersion);
+  if (bytes.size() < kHeaderBytes) {
+    // Zero bytes, or a strict prefix of our own header: a crash (or full
+    // disk) during the store's own initial header write — the one
+    // truncation the store itself can cause. Recover by rewriting; any
+    // other short content is a foreign file and must not be clobbered.
+    IMAC_CHECK(bytes.empty() ||
+                   std::memcmp(bytes.data(), full_header.data(), bytes.size()) == 0,
+               "result store: " + path_ + " is not a result-store journal");
+    write_fresh_header();
+    return;
+  }
+
+  IMAC_CHECK(std::memcmp(bytes.data(), kMagic, sizeof kMagic) == 0,
+             "result store: " + path_ + " is not a result-store journal");
+  const std::uint32_t version = get_u32(bytes.data() + sizeof kMagic);
+  IMAC_CHECK(version == kFormatVersion,
+             "result store: " + path_ + " has unsupported format version " +
+                 std::to_string(version) + " (expected " + std::to_string(kFormatVersion) + ")");
+
+  // Replay records until clean EOF or the first truncated/corrupt record;
+  // everything after a bad record is untrusted (its length field may be
+  // garbage), so recovery keeps the valid prefix only.
+  std::size_t pos = kHeaderBytes;
+  std::size_t valid_end = pos;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < 8) break;  // truncated record framing
+    const std::uint32_t payload_len = get_u32(bytes.data() + pos);
+    const std::uint32_t stored_crc = get_u32(bytes.data() + pos + 4);
+    if (payload_len < 4 + 16 || payload_len > kMaxPayloadBytes) break;  // corrupt length
+    if (bytes.size() - pos - 8 < payload_len) break;                    // truncated payload
+    const unsigned char* payload = bytes.data() + pos + 8;
+    if (crc32(payload, payload_len) != stored_crc) break;  // corrupt payload
+    const std::uint32_t key_len = get_u32(payload);
+    if (key_len != payload_len - 4 - 16) break;  // framing disagrees with itself
+    std::string key(reinterpret_cast<const char*>(payload + 4), key_len);
+    StoredResult result;
+    result.cycles = bits_double(get_u64(payload + 4 + key_len));
+    result.data_accesses = get_u64(payload + 4 + key_len + 8);
+
+    const auto it = results_.find(key);
+    IMAC_CHECK(it == results_.end() || it->second == result,
+               "result store: " + path_ + " journals two different results for key \"" + key +
+                   "\" (refusing a silently wrong merge)");
+    if (it == results_.end()) {
+      results_.emplace(std::move(key), result);
+      ++loaded_;
+    }
+    pos += 8 + payload_len;
+    valid_end = pos;
+  }
+
+  if (valid_end < bytes.size()) {
+    // Crash-recovery path: discard the truncated/corrupt tail so future
+    // appends extend a well-formed journal.
+    dropped_bytes_ = bytes.size() - valid_end;
+    std::error_code ec;
+    std::filesystem::resize_file(path_, valid_end, ec);
+    IMAC_CHECK(!ec, "result store: cannot truncate corrupt tail of " + path_);
+  }
+}
+
+const StoredResult* ResultStore::find(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = results_.find(key);
+  return it == results_.end() ? nullptr : &it->second;
+}
+
+void ResultStore::put(const std::string& key, const StoredResult& result) {
+  IMAC_CHECK(!key.empty(), "result store: empty key");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = results_.find(key);
+  if (it != results_.end()) {
+    IMAC_CHECK(it->second == result,
+               "result store: measurement for key \"" + key +
+                   "\" disagrees with the journaled result (timing model drifted under " + path_ +
+                   "; use a fresh --store directory)");
+    return;  // identical re-put: nothing to journal
+  }
+  const std::string record = encode_record(key, result);
+  const bool ok = std::fwrite(record.data(), 1, record.size(), file_) == record.size() &&
+                  std::fflush(file_) == 0;
+  IMAC_CHECK(ok, "result store: append to " + path_ + " failed");
+  results_.emplace(key, result);
+  ++appended_;
+}
+
+std::size_t ResultStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return results_.size();
+}
+
+std::uint64_t ResultStore::appended() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return appended_;
+}
+
+}  // namespace indexmac::core

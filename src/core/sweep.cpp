@@ -289,7 +289,24 @@ const BatchResult* SweepCache::find(const std::string& key) const {
 
 void SweepCache::insert(const std::string& key, const BatchResult& result) {
   std::lock_guard<std::mutex> lock(mutex_);
+  // Journal before memoizing: if the append (or a drift cross-check in
+  // ResultStore::put) fails, the cache must not claim a result the store
+  // never accepted.
+  if (store_ != nullptr) store_->put(key, StoredResult{result.cycles, result.data_accesses});
   results_.emplace(key, result);
+}
+
+void SweepCache::attach_store(ResultStore& store, bool preload) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  IMAC_CHECK(store_ == nullptr || store_ == &store, "SweepCache: a different store is attached");
+  store_ = &store;
+  if (!preload) return;
+  for (const auto& [key, stored] : store.results()) {
+    BatchResult result;
+    result.cycles = stored.cycles;
+    result.data_accesses = stored.data_accesses;
+    if (results_.emplace(key, result).second) ++store_loads_;
+  }
 }
 
 std::size_t SweepCache::size() const {
@@ -339,9 +356,15 @@ SweepReport run_sweep(const SweepSpec& spec, const std::vector<SweepPoint>& poin
   }
   report.spec_hash = hash;
 
-  const std::vector<BatchResult> results = run_batch(runner, jobs);
-  if (cache != nullptr)
-    for (std::size_t i = 0; i < results.size(); ++i) cache->insert(job_keys[i], results[i]);
+  // Results enter the cache (and, through an attached store, the on-disk
+  // journal) from the worker threads the moment each measurement finishes,
+  // not after the whole batch: a sweep killed mid-run keeps everything
+  // measured so far for --resume. (SweepCache and ResultStore are both
+  // thread-safe, as run_batch's completion callback requires.)
+  const std::vector<BatchResult> results =
+      run_batch(runner, jobs, [&](std::size_t i, const BatchResult& r) {
+        if (cache != nullptr) cache->insert(job_keys[i], r);
+      });
 
   report.rows.reserve(points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {
@@ -365,6 +388,88 @@ SweepReport run_sweep(const SweepSpec& spec, const std::vector<SweepPoint>& poin
 SweepReport run_sweep(const SweepSpec& spec, unsigned threads, SweepCache* cache) {
   BatchRunner runner(threads);
   return run_sweep(spec, runner, cache);
+}
+
+// --- sharding and merging -------------------------------------------------
+
+ShardSpec parse_shard(const std::string& text) {
+  const std::size_t slash = text.find('/');
+  const auto all_digits = [](const std::string& s) {
+    if (s.empty()) return false;
+    for (const char c : s)
+      if (c < '0' || c > '9') return false;
+    return true;
+  };
+  const std::string index_part = text.substr(0, slash);
+  const std::string count_part = slash == std::string::npos ? "" : text.substr(slash + 1);
+  IMAC_CHECK(slash != std::string::npos && all_digits(index_part) && all_digits(count_part) &&
+                 index_part.size() <= 4 && count_part.size() <= 4,
+             "shard must be \"i/N\" with 1 <= i <= N <= 4096, got \"" + text + "\"");
+  ShardSpec shard;
+  shard.index = static_cast<unsigned>(std::stoul(index_part));
+  shard.count = static_cast<unsigned>(std::stoul(count_part));
+  IMAC_CHECK(shard.index >= 1 && shard.index <= shard.count && shard.count <= 4096,
+             "shard must be \"i/N\" with 1 <= i <= N <= 4096, got \"" + text + "\"");
+  return shard;
+}
+
+bool shard_owns(const ShardSpec& shard, const std::string& cache_key) {
+  return fnv1a(cache_key) % shard.count == shard.index - 1;
+}
+
+std::vector<SweepPoint> filter_shard(const SweepSpec& spec, const std::vector<SweepPoint>& points,
+                                     const ShardSpec& shard) {
+  std::vector<SweepPoint> out;
+  for (const SweepPoint& p : points)
+    if (shard_owns(shard, p.cache_key(spec))) out.push_back(p);
+  return out;
+}
+
+namespace {
+
+void merge_result(const std::string& key, const StoredResult& result, const char* origin,
+                  std::map<std::string, StoredResult>& merged) {
+  const auto [it, inserted] = merged.emplace(key, result);
+  IMAC_CHECK(inserted || it->second == result,
+             std::string("merge: ") + origin + " disagrees with an earlier shard about \"" + key +
+                 "\" (refusing a silently wrong merge)");
+}
+
+}  // namespace
+
+void accumulate_results(const SweepSpec& spec, const SweepReport& shard,
+                        std::map<std::string, StoredResult>& merged) {
+  for (const SweepRow& row : shard.rows)
+    merge_result(row.point.cache_key(spec), StoredResult{row.cycles, row.data_accesses},
+                 "shard report", merged);
+}
+
+void accumulate_results(const ResultStore& store, std::map<std::string, StoredResult>& merged) {
+  for (const auto& [key, result] : store.results())
+    merge_result(key, result, "shard store", merged);
+}
+
+SweepReport assemble_report(const SweepSpec& spec,
+                            const std::map<std::string, StoredResult>& merged) {
+  SweepReport report;
+  report.spec_name = spec.name;
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  const std::vector<SweepPoint> points = expand_sweep(spec);
+  report.rows.reserve(points.size());
+  for (const SweepPoint& p : points) {
+    const std::string key = p.cache_key(spec);
+    hash = fnv1a(key, hash);
+    const auto it = merged.find(key);
+    IMAC_CHECK(it != merged.end(), "merge: shards do not cover the full grid; first missing "
+                                   "point is " + p.workload + " \"" + key + "\"");
+    SweepRow row;
+    row.point = p;
+    row.cycles = it->second.cycles;
+    row.data_accesses = it->second.data_accesses;
+    report.rows.push_back(std::move(row));
+  }
+  report.spec_hash = hash;
+  return report;
 }
 
 // --- reports --------------------------------------------------------------
@@ -398,6 +503,24 @@ std::uint64_t parse_u64(const std::string& s, const char* what) {
   for (const char c : s) {
     IMAC_CHECK(c >= '0' && c <= '9', std::string("csv report: bad ") + what + " \"" + s + "\"");
     v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+/// Defensive hex parse for the header hash: report_to_csv always emits 16
+/// hex digits, so anything else (truncation, editor damage) is malformed
+/// input and must raise SimError like every other bad field — never an
+/// uncaught std::invalid_argument/out_of_range from std::stoull.
+std::uint64_t parse_hash(const std::string& s) {
+  IMAC_CHECK(!s.empty() && s.size() <= 16, "csv report: bad spec hash \"" + s + "\"");
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    unsigned digit = 0;
+    if (c >= '0' && c <= '9') digit = static_cast<unsigned>(c - '0');
+    else if (c >= 'a' && c <= 'f') digit = static_cast<unsigned>(c - 'a') + 10;
+    else if (c >= 'A' && c <= 'F') digit = static_cast<unsigned>(c - 'A') + 10;
+    else raise("csv report: bad spec hash \"" + s + "\"");
+    v = (v << 4) | digit;
   }
   return v;
 }
@@ -470,8 +593,7 @@ SweepReport parse_csv_report(const std::string& csv) {
         report.spec_name = line.substr(spec_at + 5, sp_end - spec_at - 5);
       }
       const std::size_t hash_at = line.find("hash=");
-      if (hash_at != std::string::npos)
-        report.spec_hash = std::stoull(line.substr(hash_at + 5), nullptr, 16);
+      if (hash_at != std::string::npos) report.spec_hash = parse_hash(line.substr(hash_at + 5));
       continue;
     }
     if (!saw_header) {
@@ -493,11 +615,10 @@ SweepReport parse_csv_report(const std::string& csv) {
     row.point.config.kernel.unroll = static_cast<unsigned>(parse_u64(f[9], "unroll"));
     row.point.config.tile_rows = static_cast<unsigned>(parse_u64(f[10], "tile_rows"));
     row.point.mode = parse_mode(f[11]);
-    try {
-      row.cycles = std::stod(f[12]);
-    } catch (const std::exception&) {
-      raise("csv report: bad cycles \"" + f[12] + "\"");
-    }
+    // parse_double (std::from_chars) is locale-independent; std::stod here
+    // would mis-read "123.45" as 123 under a comma-decimal LC_NUMERIC and
+    // silently corrupt every sampled-mode row.
+    row.cycles = parse_double(f[12], "csv report cycles");
     row.data_accesses = parse_u64(f[13], "data_accesses");
     report.rows.push_back(std::move(row));
   }

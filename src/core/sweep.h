@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/batch.h"
+#include "core/result_store.h"
 #include "workloads/workloads.h"
 
 namespace indexmac::core {
@@ -107,21 +108,41 @@ struct SweepReport {
 };
 
 /// Memoizes measurements across run_sweep calls. Thread-safe.
+///
+/// Optionally backed by a persistent ResultStore (attach_store): every
+/// insert is then written through to the store's on-disk journal, and —
+/// when preloading is requested — previously journaled measurements are
+/// served from the cache without re-simulation (`imac_run sweep --store
+/// DIR --resume`). Entries loaded from disk carry the journaled headline
+/// metrics only; their TimingStats are default-constructed (reports never
+/// read them).
 class SweepCache {
  public:
   /// Returns the cached result or nullptr.
   [[nodiscard]] const BatchResult* find(const std::string& key) const;
   void insert(const std::string& key, const BatchResult& result);
 
+  /// Attaches a persistent backing store (must outlive this cache). With
+  /// `preload`, every journaled record becomes a cache entry immediately —
+  /// the resume path. Without it, the store only receives write-through
+  /// appends; re-measured points must then reproduce the journaled metrics
+  /// exactly or ResultStore::put throws (a deterministic-simulator
+  /// cross-check against model drift under a warm store).
+  void attach_store(ResultStore& store, bool preload);
+
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  /// Entries preloaded from the attached store (0 when none attached).
+  [[nodiscard]] std::uint64_t store_loads() const { return store_loads_; }
 
  private:
   mutable std::mutex mutex_;
   std::map<std::string, BatchResult> results_;
+  ResultStore* store_ = nullptr;
   mutable std::uint64_t hits_ = 0;
   mutable std::uint64_t misses_ = 0;
+  std::uint64_t store_loads_ = 0;
 };
 
 /// Runs the sweep on `runner`'s pool. Duplicate points within the sweep are
@@ -140,6 +161,46 @@ class SweepCache {
 /// Convenience overload on a temporary pool (0 = default size).
 [[nodiscard]] SweepReport run_sweep(const SweepSpec& spec, unsigned threads = 0,
                                     SweepCache* cache = nullptr);
+
+// --- sharding and merging -------------------------------------------------
+
+/// A 1-based shard selector: this process owns shard `index` of `count`
+/// equal digest-partitions of the expanded grid.
+struct ShardSpec {
+  unsigned index = 1;
+  unsigned count = 1;
+};
+
+/// Parses the CLI form "i/N" (1 <= i <= N <= 4096); SimError otherwise.
+[[nodiscard]] ShardSpec parse_shard(const std::string& text);
+
+/// Deterministic owner test: a point belongs to shard i/N iff
+/// fnv1a(cache_key) % N == i-1. Purely a function of the key, so every
+/// shard of every process partitions identically, duplicate points land on
+/// one shard, and re-partitioning with a different N is safe.
+[[nodiscard]] bool shard_owns(const ShardSpec& shard, const std::string& cache_key);
+
+/// Filters an expanded grid down to the shard's points, preserving
+/// expansion order. A shard may legitimately own zero points of a small
+/// grid; the resulting report is then header-only.
+[[nodiscard]] std::vector<SweepPoint> filter_shard(const SweepSpec& spec,
+                                                   const std::vector<SweepPoint>& points,
+                                                   const ShardSpec& shard);
+
+/// Folds one shard's measurements into `merged`, keyed by canonical cache
+/// key under `spec`. Throws SimError when two inputs disagree about one
+/// key (no silent wrong merges).
+void accumulate_results(const SweepSpec& spec, const SweepReport& shard,
+                        std::map<std::string, StoredResult>& merged);
+void accumulate_results(const ResultStore& store, std::map<std::string, StoredResult>& merged);
+
+/// Reassembles the canonical single-process report of `spec` from merged
+/// shard measurements: rows in expansion order, spec_hash chained exactly
+/// as run_sweep computes it — so the rendered CSV/JSON is byte-identical
+/// to a single-process run. Throws SimError naming the first missing
+/// point when the shards do not cover the full grid.
+[[nodiscard]] SweepReport assemble_report(const SweepSpec& spec,
+                                          const std::map<std::string, StoredResult>& merged);
 
 /// Stable CSV rendition: fixed header, one row per point in report order,
 /// '\n' line endings, exact-mode cycles printed as integers. Byte-stable

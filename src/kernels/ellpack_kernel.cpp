@@ -14,8 +14,11 @@ EllpackLayout make_ellpack_layout(const GemmDims& dims, std::size_t slots_padded
   out.slots_padded = slots_padded;
   out.b_pitch_elems = round_up(dims.cols_b, isa::kVlMax);
   out.c_pitch_elems = out.b_pitch_elems;
-  out.a_values = alloc.alloc(dims.rows_a * slots_padded * 4);
-  out.a_offsets = alloc.alloc(dims.rows_a * slots_padded * 4);
+  if (slots_padded > 0) {
+    out.a_values = alloc.alloc(dims.rows_a * slots_padded * 4);
+    out.a_offsets = alloc.alloc(dims.rows_a * slots_padded * 4);
+  }  // else: no operand stream at all (all-zero A); the kernel never
+     // references these bases.
   out.b_base = alloc.alloc(dims.k * out.b_pitch_elems * 4);
   out.c_base = alloc.alloc(dims.rows_a * out.c_pitch_elems * 4);
   return out;
@@ -68,24 +71,30 @@ class EllpackGenerator {
     Assembler::Label row_loop = a_.new_label();
     a_.bind(row_loop);
     a_.vmv_v_i(v(0), 0);
-    a_.li(x(10), 0);
-    Assembler::Label chunk_loop = a_.new_label();
-    a_.bind(chunk_loop);
-    a_.vle32(v(4), x(6));
-    a_.vle32(v(8), x(7));
-    a_.vadd_vx(v(8), v(8), x(16));  // offsets -> absolute strip addresses
-    for (unsigned j = 0; j < isa::kVlMax; ++j) {
-      a_.vmv_x_s(x(5), v(8));
-      a_.vle32(v(12), x(5));       // the unavoidable per-non-zero B load
-      a_.vfmv_f_s(f(1), v(4));
-      a_.vfmacc_vf(v(0), f(1), v(12));
-      a_.vslide1down_vx(v(4), v(4), x(0));
-      a_.vslide1down_vx(v(8), v(8), x(0));
+    // A slot-free matrix (all-zero A, see EllpackMatrix::from_dense) has
+    // no operand stream at all: skip the gather loop entirely — C rows are
+    // plain zero stores — instead of issuing phantom loads the baseline
+    // memory-access numbers would then count.
+    if (l_.slots_padded > 0) {
+      a_.li(x(10), 0);
+      Assembler::Label chunk_loop = a_.new_label();
+      a_.bind(chunk_loop);
+      a_.vle32(v(4), x(6));
+      a_.vle32(v(8), x(7));
+      a_.vadd_vx(v(8), v(8), x(16));  // offsets -> absolute strip addresses
+      for (unsigned j = 0; j < isa::kVlMax; ++j) {
+        a_.vmv_x_s(x(5), v(8));
+        a_.vle32(v(12), x(5));       // the unavoidable per-non-zero B load
+        a_.vfmv_f_s(f(1), v(4));
+        a_.vfmacc_vf(v(0), f(1), v(12));
+        a_.vslide1down_vx(v(4), v(4), x(0));
+        a_.vslide1down_vx(v(8), v(8), x(0));
+      }
+      a_.addi(x(6), x(6), 64);
+      a_.addi(x(7), x(7), 64);
+      a_.addi(x(10), x(10), 1);
+      a_.blt(x(10), x(24), chunk_loop);
     }
-    a_.addi(x(6), x(6), 64);
-    a_.addi(x(7), x(7), 64);
-    a_.addi(x(10), x(10), 1);
-    a_.blt(x(10), x(24), chunk_loop);
     // Store the finished C row (narrow the store in the tail strip).
     if (tail) a_.vsetvli_e32m1(x(0), x(17));
     a_.vse32(v(0), x(8));

@@ -21,8 +21,17 @@ template <typename T>
 class EllpackMatrix {
  public:
   /// Builds from any dense matrix; slots = max non-zeros over all rows.
+  ///
+  /// Slot-count semantics (the unstructured-baseline cost model depends on
+  /// them): rows sparser than the densest row ARE padded up to max-nnz
+  /// with (0.0, column 0) slots, and those slots DO issue gather loads in
+  /// the ELLPACK kernel — the classic row-imbalance inefficiency of the
+  /// format, which real vector hardware pays too. An all-zero matrix,
+  /// however, stores zero slots per row (max-nnz is NOT floored to 1), so
+  /// it issues no phantom loads that would inflate the baseline's
+  /// memory-access numbers.
   static EllpackMatrix from_dense(const DenseMatrix<T>& dense) {
-    std::size_t max_nnz = 1;  // at least one slot so the kernel has work
+    std::size_t max_nnz = 0;  // an all-zero matrix keeps zero slots
     for (std::size_t r = 0; r < dense.rows(); ++r) {
       std::size_t nnz = 0;
       for (std::size_t c = 0; c < dense.cols(); ++c)
@@ -65,7 +74,9 @@ class EllpackMatrix {
   }
 
   /// Fraction of slots that are padding (ELLPACK inefficiency measure).
+  /// A slot-free (all-zero) matrix has no padding by definition.
   [[nodiscard]] double padding_fraction() const {
+    if (values_.empty()) return 0.0;
     std::size_t padded = 0;
     for (const T& v : values_)
       if (v == T{}) ++padded;

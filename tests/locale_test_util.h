@@ -1,0 +1,46 @@
+// Test-only helper: temporarily switches LC_NUMERIC to a comma-decimal
+// locale so suites can prove that report formatting/parsing is
+// locale-independent. CI installs de_DE.UTF-8 for the tier-1 gcc job;
+// development machines without any comma-decimal locale skip these tests
+// (ScopedCommaLocale::active() returns false).
+#pragma once
+
+#include <clocale>
+#include <cstdio>
+#include <string>
+
+namespace indexmac::testutil {
+
+class ScopedCommaLocale {
+ public:
+  ScopedCommaLocale() {
+    if (const char* current = std::setlocale(LC_NUMERIC, nullptr)) previous_ = current;
+    for (const char* name :
+         {"de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8", "fr_FR.utf8", "it_IT.UTF-8"}) {
+      if (std::setlocale(LC_NUMERIC, name) == nullptr) continue;
+      // Trust printf, not the locale name: the locale only matters for
+      // these tests if the C library actually renders a ',' separator.
+      char buf[16];
+      std::snprintf(buf, sizeof buf, "%.1f", 1.5);
+      if (std::string(buf) == "1,5") {
+        active_ = true;
+        break;
+      }
+    }
+    if (!active_) std::setlocale(LC_NUMERIC, previous_.c_str());
+  }
+
+  ~ScopedCommaLocale() { std::setlocale(LC_NUMERIC, previous_.c_str()); }
+
+  ScopedCommaLocale(const ScopedCommaLocale&) = delete;
+  ScopedCommaLocale& operator=(const ScopedCommaLocale&) = delete;
+
+  /// True when a comma-decimal locale is actually in effect.
+  [[nodiscard]] bool active() const { return active_; }
+
+ private:
+  std::string previous_ = "C";
+  bool active_ = false;
+};
+
+}  // namespace indexmac::testutil

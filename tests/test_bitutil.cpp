@@ -57,5 +57,17 @@ TEST(BitUtil, RoundUpAndCeilDiv) {
   EXPECT_EQ(ceil_div(16, 16), 1u);
 }
 
+TEST(BitUtil, Crc32MatchesKnownVectors) {
+  // Reference values of the zlib/PNG CRC-32 (reflected 0xEDB88320).
+  EXPECT_EQ(crc32(nullptr, 0), 0x00000000u);
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);  // the classic check value
+  EXPECT_EQ(crc32("a", 1), 0xE8B7BE43u);
+  // Seedable incremental computation equals the one-shot digest.
+  const std::uint32_t part = crc32("12345", 5);
+  EXPECT_EQ(crc32("6789", 4, part), crc32("123456789", 9));
+  // Single-bit corruption is detected.
+  EXPECT_NE(crc32("123456789", 9), crc32("123456788", 9));
+}
+
 }  // namespace
 }  // namespace indexmac

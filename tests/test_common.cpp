@@ -1,8 +1,10 @@
-// Tests for the common support module (table formatting, error plumbing).
+// Tests for the common support module (table formatting, number
+// formatting/parsing incl. locale independence, error plumbing).
 #include <gtest/gtest.h>
 
 #include "common/error.h"
 #include "common/format.h"
+#include "locale_test_util.h"
 
 namespace indexmac {
 namespace {
@@ -41,6 +43,34 @@ TEST(Format, FixedDigits) {
 }
 
 TEST(Format, Speedup) { EXPECT_EQ(fmt_speedup(1.946), "1.95x"); }
+
+TEST(Format, GeneralMatchesPrintfGInTheCLocale) {
+  EXPECT_EQ(fmt_general(0.5, 10), "0.5");
+  EXPECT_EQ(fmt_general(1234567.0, 10), "1234567");
+  EXPECT_EQ(fmt_general(1.0 / 3.0, 10), "0.3333333333");
+  EXPECT_EQ(fmt_general(1e-7, 10), "1e-07");
+}
+
+TEST(Format, ParseDoubleIsStrict) {
+  EXPECT_EQ(parse_double("123.45", "x"), 123.45);
+  EXPECT_EQ(parse_double("-2e3", "x"), -2000.0);
+  EXPECT_EQ(parse_double("17", "x"), 17.0);
+  for (const char* bad : {"", " 1", "1 ", "1x", "1,5", "--1", "1e", "1e999"})
+    EXPECT_THROW((void)parse_double(bad, "x"), SimError) << bad;
+}
+
+TEST(Format, NumberFormattingIgnoresCommaDecimalLocales) {
+  // The golden-file byte-for-byte guarantee: under de_DE-style LC_NUMERIC
+  // (',' decimal separator) the printf family drifts, fmt_* must not.
+  testutil::ScopedCommaLocale locale;
+  if (!locale.active()) GTEST_SKIP() << "no comma-decimal locale installed";
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(-0.5, 1), "-0.5");
+  EXPECT_EQ(fmt_general(0.5, 10), "0.5");
+  EXPECT_EQ(fmt_speedup(1.946), "1.95x");
+  EXPECT_EQ(parse_double("123.45", "x"), 123.45);   // '.' always accepted
+  EXPECT_THROW((void)parse_double("123,45", "x"), SimError);  // ',' never
+}
 
 TEST(Format, CountsWithSeparators) {
   EXPECT_EQ(fmt_count(0), "0");

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "locale_test_util.h"
+
 namespace indexmac {
 namespace {
 
@@ -93,6 +95,22 @@ TEST(Json, DumpRoundTrips) {
   EXPECT_EQ(again.dump(), dumped);
   EXPECT_EQ(again.at("grid").as_array()[1].as_uint(), 2u);
   EXPECT_DOUBLE_EQ(again.at("ratio").as_number(), 0.5);
+}
+
+TEST(Json, NumbersAreLocaleIndependent) {
+  // std::stod/printf would honour a comma-decimal LC_NUMERIC: stod("0.5")
+  // stops at the '.' and yields 0, silently truncating every fractional
+  // spec constant. The charconv-based parser and dumper must not.
+  testutil::ScopedCommaLocale locale;
+  if (!locale.active()) GTEST_SKIP() << "no comma-decimal locale installed";
+  const JsonValue doc = parse_json(R"({"ratio": 0.5, "tiny": 1.25e-3})");
+  EXPECT_DOUBLE_EQ(doc.at("ratio").as_number(), 0.5);
+  EXPECT_DOUBLE_EQ(doc.at("tiny").as_number(), 1.25e-3);
+  JsonValue out = JsonValue::make_object();
+  out.set("ratio", JsonValue(0.5));
+  EXPECT_EQ(out.dump(), "{\n  \"ratio\": 0.5\n}");
+  // A comma can never sneak in as a decimal separator on input either.
+  EXPECT_THROW((void)parse_json(R"({"x": 0,5})"), SimError);
 }
 
 TEST(Json, BuilderProducesStableText) {

@@ -313,6 +313,31 @@ TEST(SweepReportFormats, ParserRejectsCorruptCsv) {
   EXPECT_THROW((void)parse_csv_report(csv + "short,row\n"), SimError);
   EXPECT_THROW((void)parse_csv_report(csv + "a,b,1,x,1,1,1:4,rowwise,b,4,16,exact,1,1\n"),
                SimError);
+  // Bad cycles fields fail with SimError, including from_chars-rejected
+  // partial numbers.
+  EXPECT_THROW((void)parse_csv_report(csv + "a,b,1,1,1,1,1:4,rowwise,b,4,16,exact,1x,1\n"),
+               SimError);
+  EXPECT_THROW((void)parse_csv_report(csv + "a,b,1,1,1,1,1:4,rowwise,b,4,16,exact,,1\n"),
+               SimError);
+}
+
+TEST(SweepReportFormats, ParserRejectsCorruptHeaderHash) {
+  // Regression: a truncated/garbled header hash used to escape as an
+  // uncaught std::invalid_argument / std::out_of_range from std::stoull.
+  const SweepSpec spec = parse_sweep_spec(kTinySpec);
+  const std::string csv = report_to_csv(run_sweep(spec, 2));
+  const std::size_t hash_at = csv.find("hash=");
+  ASSERT_NE(hash_at, std::string::npos);
+  const std::size_t eol = csv.find('\n', hash_at);
+  const auto with_hash = [&](const std::string& hash) {
+    return csv.substr(0, hash_at + 5) + hash + csv.substr(eol);
+  };
+  for (const char* bad : {"", "zzzz", "12g4", "0x12", " 12",
+                          "ffffffffffffffff1" /* 17 digits: used to out_of_range */})
+    EXPECT_THROW((void)parse_csv_report(with_hash(bad)), SimError) << "hash=" << bad;
+  // Shorter-than-16 but valid hex still parses (forward compat with
+  // hand-written files).
+  EXPECT_EQ(parse_csv_report(with_hash("ff")).spec_hash, 0xffu);
 }
 
 }  // namespace

@@ -11,10 +11,14 @@
 // and explain the cycle deltas in the commit message.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 
+#include "core/result_store.h"
 #include "core/sweep.h"
+#include "locale_test_util.h"
 
 #ifndef INDEXMAC_GOLDEN_DIR
 #error "tests/CMakeLists.txt must define INDEXMAC_GOLDEN_DIR"
@@ -51,6 +55,89 @@ TEST(SweepGolden, TinySweepReproducesCheckedInCsvByteForByte) {
                      "    imac_run sweep --spec tests/golden/tiny_sweep.json "
                      "--out tests/golden/tiny_sweep.csv\n";
   }
+}
+
+TEST(SweepGolden, TinySweepReproducesCheckedInJsonByteForByte) {
+  // The JSON rendition is golden too: it locks the locale-pinned number
+  // formatter (std::to_chars) in addition to the timing model.
+  const SweepSpec spec = parse_sweep_spec_file(golden_path("tiny_sweep.json"));
+  const std::string expected = read_file(golden_path("tiny_sweep_report.json"));
+  const SweepReport report = run_sweep(spec, /*threads=*/2);
+  EXPECT_EQ(report_to_json(report), expected)
+      << "golden JSON drifted; regenerate with:\n    imac_run sweep --spec "
+         "tests/golden/tiny_sweep.json --format json --out tests/golden/tiny_sweep_report.json\n";
+}
+
+TEST(SweepGolden, TwoShardsWithStoresMergeByteIdenticalToGolden) {
+  // The acceptance path of the sharded/resumable subsystem, end to end:
+  // run the canonical sweep as two digest-partitioned shards, each
+  // journaling into its own store, merge the stores, and require the fused
+  // CSV and JSON to equal the checked-in single-process artifacts byte for
+  // byte. Then resume both shards against their warm stores and require
+  // zero new simulations.
+  namespace fs = std::filesystem;
+  const SweepSpec spec = parse_sweep_spec_file(golden_path("tiny_sweep.json"));
+  const std::vector<SweepPoint> points = expand_sweep(spec);
+  std::vector<std::string> dirs;
+  for (unsigned i = 1; i <= 2; ++i) {
+    const fs::path dir = fs::path(::testing::TempDir()) / ("golden_shard" + std::to_string(i));
+    fs::remove_all(dir);
+    dirs.push_back(dir.string());
+    ResultStore store(dirs.back());
+    SweepCache cache;
+    cache.attach_store(store, /*preload=*/true);
+    BatchRunner pool(2);
+    const auto shard_points = filter_shard(spec, points, ShardSpec{i, 2});
+    (void)run_sweep(spec, shard_points, pool, &cache);
+    EXPECT_EQ(store.appended(), shard_points.size()) << "shard " << i;
+  }
+
+  std::map<std::string, StoredResult> merged;
+  for (const std::string& dir : dirs) {
+    const ResultStore store(dir);
+    accumulate_results(store, merged);
+  }
+  const SweepReport fused = assemble_report(spec, merged);
+  EXPECT_EQ(report_to_csv(fused), read_file(golden_path("tiny_sweep.csv")));
+  EXPECT_EQ(report_to_json(fused), read_file(golden_path("tiny_sweep_report.json")));
+
+  for (unsigned i = 1; i <= 2; ++i) {
+    ResultStore store(dirs[i - 1]);
+    SweepCache cache;
+    cache.attach_store(store, /*preload=*/true);
+    BatchRunner pool(2);
+    (void)run_sweep(spec, filter_shard(spec, points, ShardSpec{i, 2}), pool, &cache);
+    EXPECT_EQ(store.appended(), 0u) << "resume of shard " << i << " re-simulated a point";
+  }
+}
+
+TEST(SweepGolden, GoldenArtifactsAreStableUnderCommaDecimalLocale) {
+  // End-to-end locale lock: the full parse-spec -> sweep -> render
+  // pipeline must emit the checked-in bytes even when LC_NUMERIC says ','
+  // is the decimal separator (CI runs the tier-1 gcc job under
+  // de_DE.UTF-8 to keep this executing).
+  testutil::ScopedCommaLocale locale;
+  if (!locale.active()) GTEST_SKIP() << "no comma-decimal locale installed";
+  const SweepSpec spec = parse_sweep_spec_file(golden_path("tiny_sweep.json"));
+  const SweepReport report = run_sweep(spec, /*threads=*/2);
+  EXPECT_EQ(report_to_csv(report), read_file(golden_path("tiny_sweep.csv")));
+  EXPECT_EQ(report_to_json(report), read_file(golden_path("tiny_sweep_report.json")));
+  // And the CSV re-parser reads them back unchanged under the same locale.
+  EXPECT_EQ(report_to_csv(parse_csv_report(read_file(golden_path("tiny_sweep.csv")))),
+            read_file(golden_path("tiny_sweep.csv")));
+}
+
+TEST(SweepGolden, GoldenCsvSurvivesHeaderHashCorruption) {
+  // A damaged header hash must fail like any malformed field — SimError,
+  // never an uncaught std::stoull exception aborting the report tool.
+  const std::string csv = read_file(golden_path("tiny_sweep.csv"));
+  const std::size_t hash_at = csv.find("hash=");
+  ASSERT_NE(hash_at, std::string::npos);
+  const std::string truncated = csv.substr(0, hash_at + 5) + "\n" + csv.substr(csv.find('\n') + 1);
+  EXPECT_THROW((void)parse_csv_report(truncated), SimError);
+  std::string garbled = csv;
+  garbled.replace(hash_at + 5, 4, "zzzz");
+  EXPECT_THROW((void)parse_csv_report(garbled), SimError);
 }
 
 TEST(SweepGolden, GoldenCsvIsSelfConsistent) {

@@ -36,11 +36,43 @@ TEST(Ellpack, SlotsFollowDensestRow) {
   EXPECT_NEAR(ell.padding_fraction(), 5.0 / 12.0, 1e-9);
 }
 
-TEST(Ellpack, EmptyMatrixKeepsOneSlot) {
+TEST(Ellpack, EmptyMatrixStoresNoSlots) {
+  // An all-zero matrix must not be padded up to one slot per row: phantom
+  // slots would issue counted gather loads and inflate the unstructured
+  // baseline's memory-access numbers (see from_dense's semantics note).
   DenseMatrix<float> m(2, 4);
   const auto ell = EllpackMatrix<float>::from_dense(m);
-  EXPECT_EQ(ell.slots_per_row(), 1u);
+  EXPECT_EQ(ell.slots_per_row(), 0u);
   EXPECT_EQ(ell.to_dense(), m);
+  EXPECT_EQ(ell.padding_fraction(), 0.0);
+}
+
+TEST(Ellpack, AllZeroMatrixKernelIssuesNoLoads) {
+  // The generated kernel degenerates to zero-stores of C: it still runs to
+  // completion and produces the correct (all-zero) product, with zero
+  // predicted operand loads and zero MACs.
+  const DenseMatrix<float> a(4, 32);  // all zero
+  const auto b = random_matrix<float>(32, 16, 5, -1.0f, 1.0f);
+  MainMemory mem;
+  const EllpackRun run = prepare_ellpack(a, b, mem);
+  EXPECT_EQ(kernels::predict_ellpack_footprint(run.layout).vector_loads, 0u);
+  EXPECT_EQ(kernels::predict_ellpack_footprint(run.layout).macs, 0u);
+  Machine machine(run.program, mem);
+  ASSERT_EQ(machine.run(1'000'000), StopReason::kEbreak);
+  const auto c = read_c_ellpack(run, mem);
+  for (std::size_t i = 0; i < c.rows(); ++i)
+    for (std::size_t j = 0; j < c.cols(); ++j) ASSERT_EQ(c.at(i, j), 0.0f) << i << "," << j;
+}
+
+TEST(Ellpack, ZeroRowInNonEmptyMatrixStillPaysDensestRowSlots) {
+  // Documented row-imbalance semantics: per-row padding up to the densest
+  // row is faithful ELLPACK cost and *does* keep its slots.
+  DenseMatrix<float> m(3, 8);
+  m.at(0, 1) = 1.0f;
+  m.at(0, 3) = 2.0f;  // densest row: 2 nnz; rows 1 and 2 all-zero
+  const auto ell = EllpackMatrix<float>::from_dense(m);
+  EXPECT_EQ(ell.slots_per_row(), 2u);
+  EXPECT_NEAR(ell.padding_fraction(), 4.0 / 6.0, 1e-9);
 }
 
 TEST(Ellpack, UnstructuredPruneKeepsTopPerRow) {

@@ -4,7 +4,11 @@
 //   run             assemble + execute a text-assembly program (functional
 //                   or cycle-level timing simulation)
 //   sweep           execute a declarative sweep spec (JSON) over the
-//                   workload registry and emit a CSV/JSON report
+//                   workload registry and emit a CSV/JSON report; with
+//                   --store/--resume/--shard the run is crash-safe,
+//                   restartable, and horizontally partitionable
+//   merge           fuse shard stores and/or shard CSV reports back into
+//                   the canonical single-process report
 //   list-workloads  show the registered workload suites (or one suite's
 //                   layer list)
 //   report          pretty-print a sweep CSV, pairing algorithms into
@@ -19,12 +23,15 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
+#include <vector>
 
 #include "asm/text_assembler.h"
 #include "common/error.h"
 #include "common/format.h"
 #include "core/batch.h"
+#include "core/result_store.h"
 #include "core/sweep.h"
 #include "fsim/machine.h"
 #include "fsim/tracer.h"
@@ -47,9 +54,26 @@ void usage(std::FILE* out) {
                "      --max-steps N  stop after N instructions (default 100000000)\n"
                "      --dump-regs    print architectural registers on exit\n"
                "  sweep --spec spec.json [--out file] [--format csv|json] [--threads N]\n"
+               "        [--store DIR] [--resume] [--shard i/N]\n"
                "      Runs the sweep described by spec.json (see README: sweep specs)\n"
                "      on a parallel BatchRunner pool and writes the report to stdout\n"
                "      or --out.\n"
+               "      --store DIR   journal every completed point to DIR/results.journal\n"
+               "                    (append-only, CRC-checked; survives a killed run)\n"
+               "      --resume      with --store: serve already-journaled points from\n"
+               "                    the store and simulate only what is missing\n"
+               "      --shard i/N   run only shard i of N: points are partitioned by\n"
+               "                    digest (fnv1a(key) %% N == i-1), so N processes with\n"
+               "                    disjoint shards cover the grid exactly once\n"
+               "  merge --spec spec.json [--store DIR]... [--out file] [--format csv|json]\n"
+               "        [shard.csv]...\n"
+               "      Fuses shard stores and/or shard CSV reports into the canonical\n"
+               "      report of spec.json — byte-identical to a single-process sweep.\n"
+               "      Conflicting or missing points abort with an error. Stores keep\n"
+               "      full double precision; shard CSVs round sampled-mode cycles to\n"
+               "      2 decimals, so for sampled sweeps merge from stores (CSV inputs\n"
+               "      still give byte-exact CSV output, but not JSON, and must not\n"
+               "      overlap a store's points).\n"
                "\n"
                "  --threads N (run, sweep) sets the worker-pool width for any batched\n"
                "  work. It mirrors the INDEXMAC_THREADS environment variable — same\n"
@@ -155,16 +179,54 @@ int cmd_run(int argc, char** argv) {
   return 0;
 }
 
+/// Writes a rendered report to --out (binary, so CSV bytes are exact) or
+/// stdout. Returns a process exit code.
+int write_report(const std::string& rendered, const char* out_path, std::size_t rows,
+                 const char* subcommand) {
+  if (out_path != nullptr) {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "imac_run %s: cannot write %s\n", subcommand, out_path);
+      return 1;
+    }
+    out << rendered;
+    // Flush and verify before claiming success: a full disk (or a signal
+    // killing us during the message below) must not leave a silently
+    // truncated report behind a "wrote N rows" line.
+    out.close();
+    if (!out) {
+      std::fprintf(stderr, "imac_run %s: write to %s failed\n", subcommand, out_path);
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %zu rows to %s\n", rows, out_path);
+  } else {
+    // stdout is frequently a redirect; a short write (full disk, closed
+    // pipe) must fail the process, not masquerade as a complete report.
+    if (std::fwrite(rendered.data(), 1, rendered.size(), stdout) != rendered.size() ||
+        std::fflush(stdout) != 0) {
+      std::fprintf(stderr, "imac_run %s: write to stdout failed\n", subcommand);
+      return 1;
+    }
+  }
+  return 0;
+}
+
 int cmd_sweep(int argc, char** argv) {
   using namespace indexmac;
   const char* spec_path = nullptr;
   const char* out_path = nullptr;
+  const char* store_dir = nullptr;
+  const char* shard_text = nullptr;
+  bool resume = false;
   bool json = false;
   unsigned threads = 0;
 
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--spec") == 0 && i + 1 < argc) spec_path = argv[++i];
     else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+    else if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc) store_dir = argv[++i];
+    else if (std::strcmp(argv[i], "--shard") == 0 && i + 1 < argc) shard_text = argv[++i];
+    else if (std::strcmp(argv[i], "--resume") == 0) resume = true;
     else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       // Same strictness as INDEXMAC_THREADS (throws SimError on anything
       // outside [1, 1024]): a silently-mangled typo would run the sweep at
@@ -189,27 +251,110 @@ int cmd_sweep(int argc, char** argv) {
     std::fprintf(stderr, "imac_run sweep: --spec is required\n");
     return 2;
   }
+  if (resume && store_dir == nullptr) {
+    std::fprintf(stderr, "imac_run sweep: --resume requires --store DIR\n");
+    return 2;
+  }
 
   const core::SweepSpec spec = core::parse_sweep_spec_file(spec_path);
-  const std::vector<core::SweepPoint> points = core::expand_sweep(spec);
+  std::vector<core::SweepPoint> points = core::expand_sweep(spec);
+  const std::size_t full_grid = points.size();
+  if (shard_text != nullptr) {
+    const core::ShardSpec shard = core::parse_shard(shard_text);
+    points = core::filter_shard(spec, points, shard);
+    std::fprintf(stderr, "shard %u/%u owns %zu of %zu points\n", shard.index, shard.count,
+                 points.size(), full_grid);
+  }
+
+  // The store (when given) backs the sweep cache: every completed point is
+  // journaled as it finishes, and --resume additionally serves journaled
+  // points without re-simulation.
+  std::unique_ptr<core::ResultStore> store;
+  core::SweepCache cache;
+  if (store_dir != nullptr) {
+    store = std::make_unique<core::ResultStore>(store_dir);
+    cache.attach_store(*store, resume);
+    if (store->dropped_bytes() > 0)
+      std::fprintf(stderr, "store %s: recovered (dropped %llu corrupt tail bytes)\n",
+                   store->journal_path().c_str(),
+                   static_cast<unsigned long long>(store->dropped_bytes()));
+    std::fprintf(stderr, "store %s: %llu journaled results%s\n", store->journal_path().c_str(),
+                 static_cast<unsigned long long>(store->loaded()),
+                 resume ? " (resuming)" : "");
+  }
+
   core::BatchRunner pool(threads);
   std::fprintf(stderr, "sweep %s: %zu points on %u threads\n", spec.name.c_str(), points.size(),
                pool.thread_count());
-  const core::SweepReport report = core::run_sweep(spec, points, pool);
+  const core::SweepReport report = core::run_sweep(spec, points, pool, &cache);
+  if (store != nullptr)
+    std::fprintf(stderr, "store: %llu new simulations journaled (%llu already on disk)\n",
+                 static_cast<unsigned long long>(store->appended()),
+                 static_cast<unsigned long long>(store->loaded()));
   const std::string rendered = json ? core::report_to_json(report) : core::report_to_csv(report);
+  return write_report(rendered, out_path, report.rows.size(), "sweep");
+}
 
-  if (out_path != nullptr) {
-    std::ofstream out(out_path, std::ios::binary);
-    if (!out) {
-      std::fprintf(stderr, "imac_run sweep: cannot write %s\n", out_path);
+int cmd_merge(int argc, char** argv) {
+  using namespace indexmac;
+  const char* spec_path = nullptr;
+  const char* out_path = nullptr;
+  bool json = false;
+  std::vector<const char*> store_dirs;
+  std::vector<const char*> csv_paths;
+
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--spec") == 0 && i + 1 < argc) spec_path = argv[++i];
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+    else if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc) store_dirs.push_back(argv[++i]);
+    else if (std::strcmp(argv[i], "--format") == 0 && i + 1 < argc) {
+      const char* fmt = argv[++i];
+      if (std::strcmp(fmt, "json") == 0) json = true;
+      else if (std::strcmp(fmt, "csv") == 0) json = false;
+      else {
+        std::fprintf(stderr, "imac_run merge: unknown format %s (csv|json)\n", fmt);
+        return 2;
+      }
+    } else if (argv[i][0] != '-') {
+      csv_paths.push_back(argv[i]);
+    } else {
+      usage(stderr);
+      return 2;
+    }
+  }
+  if (spec_path == nullptr) {
+    std::fprintf(stderr, "imac_run merge: --spec is required\n");
+    return 2;
+  }
+  if (store_dirs.empty() && csv_paths.empty()) {
+    std::fprintf(stderr, "imac_run merge: nothing to merge (give --store DIR and/or shard CSVs)\n");
+    return 2;
+  }
+
+  const core::SweepSpec spec = core::parse_sweep_spec_file(spec_path);
+  std::map<std::string, core::StoredResult> merged;
+  for (const char* dir : store_dirs) {
+    const core::ResultStore store(dir);
+    core::accumulate_results(store, merged);
+    std::fprintf(stderr, "merged store %s: %zu results\n", store.journal_path().c_str(),
+                 store.size());
+  }
+  for (const char* path : csv_paths) {
+    std::ifstream file(path, std::ios::binary);
+    if (!file) {
+      std::fprintf(stderr, "imac_run merge: cannot open %s\n", path);
       return 1;
     }
-    out << rendered;
-    std::fprintf(stderr, "wrote %zu rows to %s\n", report.rows.size(), out_path);
-  } else {
-    std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+    std::stringstream buf;
+    buf << file.rdbuf();
+    const core::SweepReport shard = core::parse_csv_report(buf.str());
+    core::accumulate_results(spec, shard, merged);
+    std::fprintf(stderr, "merged report %s: %zu rows\n", path, shard.rows.size());
   }
-  return 0;
+
+  const core::SweepReport report = core::assemble_report(spec, merged);
+  const std::string rendered = json ? core::report_to_json(report) : core::report_to_csv(report);
+  return write_report(rendered, out_path, report.rows.size(), "merge");
 }
 
 int cmd_list_workloads(int argc, char** argv) {
@@ -324,7 +469,8 @@ int cmd_report(int argc, char** argv) {
 
 bool is_subcommand(const char* s) {
   return std::strcmp(s, "run") == 0 || std::strcmp(s, "sweep") == 0 ||
-         std::strcmp(s, "list-workloads") == 0 || std::strcmp(s, "report") == 0;
+         std::strcmp(s, "merge") == 0 || std::strcmp(s, "list-workloads") == 0 ||
+         std::strcmp(s, "report") == 0;
 }
 
 }  // namespace
@@ -347,6 +493,7 @@ int main(int argc, char** argv) {
       const int nrest = argc - 2;
       if (std::strcmp(cmd, "run") == 0) return cmd_run(nrest, rest);
       if (std::strcmp(cmd, "sweep") == 0) return cmd_sweep(nrest, rest);
+      if (std::strcmp(cmd, "merge") == 0) return cmd_merge(nrest, rest);
       if (std::strcmp(cmd, "list-workloads") == 0) return cmd_list_workloads(nrest, rest);
       return cmd_report(nrest, rest);
     }
