@@ -8,6 +8,9 @@
 // Scenarios exercise the distinct hot paths of timing::Model:
 //   * scalar_heavy   — branchy scalar loop (front end + scalar issue + L1D)
 //   * vector_heavy   — exact indexmac SpMM run (vector dispatch + engine)
+//   * algorithm4     — the same SpMM on the packed-index/dual-row kernel;
+//                      its tracked sim_cycles, against vector_heavy's,
+//                      records the Algorithm 3 -> 4 cycle gain
 //   * gather_heavy   — SpMV built on vluxei32 (per-element L2 accesses,
 //                      the path the zero-allocation trace targets)
 //   * sampled        — run_sampled miniature run (the sweep workhorse)
@@ -54,6 +57,11 @@ struct ScenarioResult {
   std::uint64_t instructions = 0;  ///< dynamic instructions per repetition
   double best_seconds = 0;
   unsigned reps = 0;
+  /// Simulated cycles of the workload (0 when not meaningful for the
+  /// scenario). Deterministic, so tracked in the JSON report: the
+  /// vector_heavy / algorithm4 pair records the Algorithm 3 -> 4 cycle
+  /// gain alongside simulator speed.
+  std::uint64_t sim_cycles = 0;
 
   [[nodiscard]] double mips() const {
     return best_seconds <= 0 ? 0 : static_cast<double>(instructions) / best_seconds / 1e6;
@@ -119,9 +127,31 @@ ScenarioResult vector_heavy(unsigned reps, unsigned scale) {
   const kernels::GemmDims dims{64 * scale, 256, 128};
   const core::SpmmProblem problem = core::SpmmProblem::random(dims, sparse::kSparsity14, 1);
   const core::RunConfig config{.algorithm = core::Algorithm::kIndexmac, .kernel = {}};
-  return measure("vector_heavy", reps, [&] {
-    return core::run_exact(problem, config, timing::ProcessorConfig{}).stats.instructions;
+  std::uint64_t cycles = 0;
+  ScenarioResult out = measure("vector_heavy", reps, [&] {
+    const auto r = core::run_exact(problem, config, timing::ProcessorConfig{});
+    cycles = r.stats.cycles;
+    return r.stats.instructions;
   });
+  out.sim_cycles = cycles;
+  return out;
+}
+
+/// The same SpMM on Algorithm 4 (packed-index + dual-row MACs): exercises
+/// the scalar ld / srli index path and the dual-MAC engine occupancy, and
+/// tracks the simulated-cycle gain over vector_heavy's Algorithm 3 run.
+ScenarioResult algorithm4(unsigned reps, unsigned scale) {
+  const kernels::GemmDims dims{64 * scale, 256, 128};
+  const core::SpmmProblem problem = core::SpmmProblem::random(dims, sparse::kSparsity14, 1);
+  const core::RunConfig config{.algorithm = core::Algorithm::kIndexmac4, .kernel = {}};
+  std::uint64_t cycles = 0;
+  ScenarioResult out = measure("algorithm4", reps, [&] {
+    const auto r = core::run_exact(problem, config, timing::ProcessorConfig{});
+    cycles = r.stats.cycles;
+    return r.stats.instructions;
+  });
+  out.sim_cycles = cycles;
+  return out;
 }
 
 /// SpMV on vluxei32: every slot chunk gathers 16 elements through the L2.
@@ -180,12 +210,17 @@ std::string json_report(const std::vector<ScenarioResult>& scenarios, double swe
   out += "  \"scenarios\": [\n";
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     const ScenarioResult& s = scenarios[i];
-    char line[256];
+    char cycles[48] = "";
+    if (s.sim_cycles != 0)
+      std::snprintf(cycles, sizeof cycles, ", \"sim_cycles\": %llu",
+                    static_cast<unsigned long long>(s.sim_cycles));
+    char line[320];
     std::snprintf(line, sizeof line,
                   "    {\"name\": \"%s\", \"instructions\": %llu, \"best_seconds\": %.6f, "
-                  "\"mips\": %.2f, \"reps\": %u}%s\n",
+                  "\"mips\": %.2f, \"reps\": %u%s}%s\n",
                   s.name.c_str(), static_cast<unsigned long long>(s.instructions),
-                  s.best_seconds, s.mips(), s.reps, i + 1 < scenarios.size() ? "," : "");
+                  s.best_seconds, s.mips(), s.reps, cycles,
+                  i + 1 < scenarios.size() ? "," : "");
     out += line;
   }
   out += "  ],\n";
@@ -221,6 +256,7 @@ int main(int argc, char** argv) {
     std::vector<ScenarioResult> scenarios;
     scenarios.push_back(scalar_heavy(reps, scale));
     scenarios.push_back(vector_heavy(reps, scale));
+    scenarios.push_back(algorithm4(reps, scale));
     scenarios.push_back(gather_heavy(reps, scale));
     scenarios.push_back(sampled(reps, scale));
     for (const ScenarioResult& s : scenarios)

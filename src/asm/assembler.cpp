@@ -167,6 +167,18 @@ void Assembler::vindexmac_vx(VReg vd, VReg vs2, XReg rs1) {
 void Assembler::vfindexmac_vx(VReg vd, VReg vs2, XReg rs1) {
   emit({Op::kVfindexmacVx, vd.num, rs1.num, vs2.num, 0});
 }
+void Assembler::vindexmacp_vx(VReg vd, VReg vs2, XReg rs1) {
+  emit({Op::kVindexmacpVx, vd.num, rs1.num, vs2.num, 0});
+}
+void Assembler::vfindexmacp_vx(VReg vd, VReg vs2, XReg rs1) {
+  emit({Op::kVfindexmacpVx, vd.num, rs1.num, vs2.num, 0});
+}
+void Assembler::vindexmac2_vx(VReg vd, VReg vs2, XReg rs1) {
+  emit({Op::kVindexmac2Vx, vd.num, rs1.num, vs2.num, 0});
+}
+void Assembler::vfindexmac2_vx(VReg vd, VReg vs2, XReg rs1) {
+  emit({Op::kVfindexmac2Vx, vd.num, rs1.num, vs2.num, 0});
+}
 
 void Assembler::li(XReg rd, std::int64_t value) {
   IMAC_CHECK(fits_signed(value, 32), "li supports 32-bit signed constants only");

@@ -127,6 +127,14 @@ class Assembler {
   void vindexmac_vx(VReg vd, VReg vs2, XReg rs1);
   /// Custom: vd[i] += (fp32) vs2[0] * (fp32) VRF[x[rs1] & 31][i].
   void vfindexmac_vx(VReg vd, VReg vs2, XReg rs1);
+  /// Packed-index variants: vd[i] += vs2[0] * VRF[16 | (x[rs1] & 0xf)][i].
+  void vindexmacp_vx(VReg vd, VReg vs2, XReg rs1);
+  void vfindexmacp_vx(VReg vd, VReg vs2, XReg rs1);
+  /// Dual-row variants: two back-to-back packed MACs per issue —
+  /// vd[i] += vs2[0] * VRF[16 | (x[rs1] & 0xf)][i], then
+  /// vd[i] += vs2[1] * VRF[16 | ((x[rs1] >> 4) & 0xf)][i].
+  void vindexmac2_vx(VReg vd, VReg vs2, XReg rs1);
+  void vfindexmac2_vx(VReg vd, VReg vs2, XReg rs1);
 
   // --- pseudo-instructions ---
   /// Loads any 32-bit signed constant (addi, or lui+addi pair).

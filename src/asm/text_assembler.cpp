@@ -320,6 +320,10 @@ class Parser {
     if (m == "vslide1down.vx") { expect(3, o.size()); asm_.vslide1down_vx(vop(o[0]), vop(o[1]), xop(o[2])); return; }
     if (m == "vindexmac.vx") { expect(3, o.size()); asm_.vindexmac_vx(vop(o[0]), vop(o[1]), xop(o[2])); return; }
     if (m == "vfindexmac.vx") { expect(3, o.size()); asm_.vfindexmac_vx(vop(o[0]), vop(o[1]), xop(o[2])); return; }
+    if (m == "vindexmacp.vx") { expect(3, o.size()); asm_.vindexmacp_vx(vop(o[0]), vop(o[1]), xop(o[2])); return; }
+    if (m == "vfindexmacp.vx") { expect(3, o.size()); asm_.vfindexmacp_vx(vop(o[0]), vop(o[1]), xop(o[2])); return; }
+    if (m == "vindexmac2.vx") { expect(3, o.size()); asm_.vindexmac2_vx(vop(o[0]), vop(o[1]), xop(o[2])); return; }
+    if (m == "vfindexmac2.vx") { expect(3, o.size()); asm_.vfindexmac2_vx(vop(o[0]), vop(o[1]), xop(o[2])); return; }
     fail("unknown mnemonic '" + m + "'");
   }
 

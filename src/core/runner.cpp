@@ -114,10 +114,15 @@ std::uint64_t analytic_accesses(const kernels::GemmDims& dims, sparse::Sparsity 
                                 const RunConfig& config) {
   AddressAllocator alloc;
   const kernels::SpmmLayout layout = kernels::make_layout(dims, sp, config.tile_rows, alloc);
-  const kernels::KernelFootprint fp = config.algorithm == Algorithm::kIndexmac
-                                          ? kernels::predict_indexmac_footprint(layout)
-                                          : kernels::predict_rowwise_footprint(layout);
-  return fp.vector_loads + fp.vector_stores;
+  kernels::KernelFootprint fp;
+  switch (config.algorithm) {
+    case Algorithm::kIndexmac: fp = kernels::predict_indexmac_footprint(layout); break;
+    case Algorithm::kIndexmac4: fp = kernels::predict_algorithm4_footprint(layout); break;
+    default: fp = kernels::predict_rowwise_footprint(layout); break;
+  }
+  // Scalar index-word loads (Algorithm 4) are memory accesses too: the
+  // exact runs count them in MemStats, so the analytic total must match.
+  return fp.vector_loads + fp.vector_stores + fp.scalar_loads;
 }
 
 }  // namespace

@@ -9,6 +9,7 @@ const char* algorithm_name(Algorithm a) {
     case Algorithm::kIndexmac: return "Proposed (vindexmac)";
     case Algorithm::kRowwiseSpmm: return "Row-Wise-SpMM";
     case Algorithm::kDenseRowwise: return "Dense row-wise";
+    case Algorithm::kIndexmac4: return "Proposed-v2 (packed/dual vindexmac)";
   }
   raise("unknown algorithm");
 }
@@ -59,10 +60,12 @@ PreparedRun prepare(const SpmmProblem& problem, const RunConfig& config, MainMem
                        kernels::emit_dense_rowwise_kernel(layout, a_base, a_pitch, config.kernel)};
   }
 
-  const bool indexmac = config.algorithm == Algorithm::kIndexmac;
+  sparse::IndexMode mode = sparse::IndexMode::kByteOffset;
+  if (config.algorithm == Algorithm::kIndexmac) mode = sparse::IndexMode::kVrfIndex;
+  if (config.algorithm == Algorithm::kIndexmac4) mode = sparse::IndexMode::kPackedNibble;
   sparse::PackConfig pack_config{
       .tile_rows = config.tile_rows,
-      .mode = indexmac ? sparse::IndexMode::kVrfIndex : sparse::IndexMode::kByteOffset,
+      .mode = mode,
       .b_pitch_bytes = static_cast<std::uint32_t>(layout.b_pitch_elems * 4),
       .base_vreg = kernels::b_tile_base_vreg(config.tile_rows),
   };
@@ -74,8 +77,11 @@ PreparedRun prepare(const SpmmProblem& problem, const RunConfig& config, MainMem
   mem.write_i32s(layout.a_indices, packed.indices);
   place_b_and_c(problem, layout, mem);
 
-  Program program = indexmac ? kernels::emit_indexmac_kernel(layout, config.kernel)
-                             : kernels::emit_rowwise_spmm_kernel(layout, config.kernel);
+  Program program = config.algorithm == Algorithm::kIndexmac
+                        ? kernels::emit_indexmac_kernel(layout, config.kernel)
+                    : config.algorithm == Algorithm::kIndexmac4
+                        ? kernels::emit_algorithm4(layout, config.kernel)
+                        : kernels::emit_rowwise_spmm_kernel(layout, config.kernel);
   return PreparedRun{config, layout, std::move(program)};
 }
 

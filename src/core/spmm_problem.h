@@ -29,6 +29,7 @@ enum class Algorithm {
   kIndexmac,      ///< Algorithm 3 ("Proposed"): vindexmac + preloaded B tiles
   kRowwiseSpmm,   ///< Algorithm 2 ("Row-Wise-SpMM")
   kDenseRowwise,  ///< Algorithm 1 (dense baseline; ignores sparsity)
+  kIndexmac4,     ///< Algorithm 4: packed-index + dual-row vindexmac variants
 };
 
 [[nodiscard]] const char* algorithm_name(Algorithm a);

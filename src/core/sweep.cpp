@@ -22,6 +22,7 @@ const char* algorithm_id(Algorithm a) {
     case Algorithm::kIndexmac: return "indexmac";
     case Algorithm::kRowwiseSpmm: return "rowwise";
     case Algorithm::kDenseRowwise: return "dense";
+    case Algorithm::kIndexmac4: return "indexmac4";
   }
   raise("unknown algorithm");
 }
@@ -30,7 +31,8 @@ Algorithm parse_algorithm(const std::string& id) {
   if (id == "indexmac") return Algorithm::kIndexmac;
   if (id == "rowwise") return Algorithm::kRowwiseSpmm;
   if (id == "dense") return Algorithm::kDenseRowwise;
-  raise("unknown algorithm \"" + id + "\" (known: rowwise, indexmac, dense)");
+  if (id == "indexmac4") return Algorithm::kIndexmac4;
+  raise("unknown algorithm \"" + id + "\" (known: rowwise, indexmac, indexmac4, dense)");
 }
 
 const char* dataflow_id(kernels::Dataflow d) {
@@ -246,12 +248,13 @@ std::vector<SweepPoint> expand_sweep(const SweepSpec& spec) {
             for (const unsigned unroll : spec.unrolls)
               for (const unsigned tile : spec.tile_rows) {
                 // Structurally-unsupported grid cells are skipped, not
-                // errors: Algorithm 3 is B-stationary by construction (the
-                // dataflow axis varies Algorithm 2), and the dense
-                // baseline only exists at unroll 1. This keeps mixed
-                // ablations (e.g. dataflows x both algorithms)
+                // errors: Algorithms 3 and 4 are B-stationary by
+                // construction (the dataflow axis varies Algorithm 2), and
+                // the dense baseline only exists at unroll 1. This keeps
+                // mixed ablations (e.g. dataflows x both algorithms)
                 // expressible without aborting the sweep mid-run.
-                if (alg == Algorithm::kIndexmac && df != kernels::Dataflow::kBStationary)
+                if ((alg == Algorithm::kIndexmac || alg == Algorithm::kIndexmac4) &&
+                    df != kernels::Dataflow::kBStationary)
                   continue;
                 if (alg == Algorithm::kDenseRowwise &&
                     (unroll != 1 || df != kernels::Dataflow::kBStationary))

@@ -306,6 +306,49 @@ void Machine::exec(const Instruction& in, std::uint64_t next_pc) {
                              state_.velem_f32(in.rd, i) + scale * state_.velem_f32(src_reg, i));
       break;
     }
+    case Op::kVindexmacpVx: {
+      // Packed-index form: the nibble names a row of the upper half of the
+      // register file (the B tile lives in v[32-L..31] by convention).
+      const unsigned src_reg = 16u | static_cast<unsigned>(x[in.rs1] & 0xf);
+      const std::uint32_t scale = state_.v[in.rs2][0];
+      for (unsigned i = 0; i < state_.vl; ++i)
+        state_.v[in.rd][i] += scale * state_.v[src_reg][i];
+      break;
+    }
+    case Op::kVfindexmacpVx: {
+      const unsigned src_reg = 16u | static_cast<unsigned>(x[in.rs1] & 0xf);
+      const float scale = state_.velem_f32(in.rs2, 0);
+      for (unsigned i = 0; i < state_.vl; ++i)
+        state_.set_velem_f32(in.rd, i,
+                             state_.velem_f32(in.rd, i) + scale * state_.velem_f32(src_reg, i));
+      break;
+    }
+    case Op::kVindexmac2Vx: {
+      // Dual-row form: bit-identical to vindexmacp on nibble 0 followed by
+      // vindexmacp on nibble 1 (values vs2[0] then vs2[1]).
+      const unsigned src0 = 16u | static_cast<unsigned>(x[in.rs1] & 0xf);
+      const unsigned src1 = 16u | static_cast<unsigned>((x[in.rs1] >> 4) & 0xf);
+      const std::uint32_t s0 = state_.v[in.rs2][0];
+      const std::uint32_t s1 = state_.v[in.rs2][1];
+      for (unsigned i = 0; i < state_.vl; ++i) {
+        state_.v[in.rd][i] += s0 * state_.v[src0][i];
+        state_.v[in.rd][i] += s1 * state_.v[src1][i];
+      }
+      break;
+    }
+    case Op::kVfindexmac2Vx: {
+      const unsigned src0 = 16u | static_cast<unsigned>(x[in.rs1] & 0xf);
+      const unsigned src1 = 16u | static_cast<unsigned>((x[in.rs1] >> 4) & 0xf);
+      const float s0 = state_.velem_f32(in.rs2, 0);
+      const float s1 = state_.velem_f32(in.rs2, 1);
+      for (unsigned i = 0; i < state_.vl; ++i) {
+        state_.set_velem_f32(in.rd, i,
+                             state_.velem_f32(in.rd, i) + s0 * state_.velem_f32(src0, i));
+        state_.set_velem_f32(in.rd, i,
+                             state_.velem_f32(in.rd, i) + s1 * state_.velem_f32(src1, i));
+      }
+      break;
+    }
     case Op::kIllegal:
       raise("functional execution reached an illegal instruction at " +
             describe_pc(program_, state_.pc));

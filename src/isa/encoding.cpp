@@ -46,6 +46,10 @@ constexpr std::uint32_t kF6Vfmul = 0b100100;
 constexpr std::uint32_t kF6Vmul = 0b100101;
 constexpr std::uint32_t kF6Vindexmac = 0b110000;   // custom (RVV-reserved OPIVX space)
 constexpr std::uint32_t kF6Vfindexmac = 0b110001;  // custom (RVV-reserved OPIVX space)
+constexpr std::uint32_t kF6Vindexmacp = 0b110010;   // packed-index variant
+constexpr std::uint32_t kF6Vfindexmacp = 0b110011;  // packed-index variant (fp32)
+constexpr std::uint32_t kF6Vindexmac2 = 0b110100;   // dual-row variant
+constexpr std::uint32_t kF6Vfindexmac2 = 0b110101;  // dual-row variant (fp32)
 
 std::uint32_t reg5(std::uint32_t r) {
   IMAC_ASSERT(r < 32, "register number out of range");
@@ -203,6 +207,10 @@ std::uint32_t encode(const Instruction& in) {
     case Op::kVslide1downVx: return op_v(kF6Slide, in.rs2, in.rs1, kOpmvx, in.rd);
     case Op::kVindexmacVx: return op_v(kF6Vindexmac, in.rs2, in.rs1, kOpivx, in.rd);
     case Op::kVfindexmacVx: return op_v(kF6Vfindexmac, in.rs2, in.rs1, kOpivx, in.rd);
+    case Op::kVindexmacpVx: return op_v(kF6Vindexmacp, in.rs2, in.rs1, kOpivx, in.rd);
+    case Op::kVfindexmacpVx: return op_v(kF6Vfindexmacp, in.rs2, in.rs1, kOpivx, in.rd);
+    case Op::kVindexmac2Vx: return op_v(kF6Vindexmac2, in.rs2, in.rs1, kOpivx, in.rd);
+    case Op::kVfindexmac2Vx: return op_v(kF6Vfindexmac2, in.rs2, in.rs1, kOpivx, in.rd);
     case Op::kIllegal: break;
   }
   raise("encode: unsupported op");
@@ -267,6 +275,18 @@ Instruction decode_op_v(std::uint32_t w, std::string* error) {
       break;
     case kF6Vfindexmac:
       if (f3 == kOpivx) return Instruction{Op::kVfindexmacVx, rd, rs1f, vs2, 0};
+      break;
+    case kF6Vindexmacp:
+      if (f3 == kOpivx) return Instruction{Op::kVindexmacpVx, rd, rs1f, vs2, 0};
+      break;
+    case kF6Vfindexmacp:
+      if (f3 == kOpivx) return Instruction{Op::kVfindexmacpVx, rd, rs1f, vs2, 0};
+      break;
+    case kF6Vindexmac2:
+      if (f3 == kOpivx) return Instruction{Op::kVindexmac2Vx, rd, rs1f, vs2, 0};
+      break;
+    case kF6Vfindexmac2:
+      if (f3 == kOpivx) return Instruction{Op::kVfindexmac2Vx, rd, rs1f, vs2, 0};
       break;
     default:
       break;
@@ -505,6 +525,10 @@ std::string disassemble(const Instruction& in) {
     case Op::kVslide1downVx:
     case Op::kVindexmacVx:
     case Op::kVfindexmacVx:
+    case Op::kVindexmacpVx:
+    case Op::kVfindexmacpVx:
+    case Op::kVindexmac2Vx:
+    case Op::kVfindexmac2Vx:
       s << m << ' ' << vr(in.rd) << ", " << vr(in.rs2) << ", " << xr(in.rs1);
       break;
     case Op::kVaddVi:

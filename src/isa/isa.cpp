@@ -29,6 +29,10 @@ bool is_vector(Op op) {
     case Op::kVslide1downVx:
     case Op::kVindexmacVx:
     case Op::kVfindexmacVx:
+    case Op::kVindexmacpVx:
+    case Op::kVfindexmacpVx:
+    case Op::kVindexmac2Vx:
+    case Op::kVfindexmac2Vx:
       return true;
     default:
       return false;
@@ -126,6 +130,10 @@ bool writes_v(const Instruction& inst) {
     case Op::kVslide1downVx:
     case Op::kVindexmacVx:
     case Op::kVfindexmacVx:
+    case Op::kVindexmacpVx:
+    case Op::kVfindexmacpVx:
+    case Op::kVindexmac2Vx:
+    case Op::kVfindexmac2Vx:
       return true;
     default:
       return false;
@@ -180,6 +188,10 @@ bool reads_x_rs1(const Instruction& inst) {
     case Op::kVslide1downVx:
     case Op::kVindexmacVx:
     case Op::kVfindexmacVx:
+    case Op::kVindexmacpVx:
+    case Op::kVfindexmacpVx:
+    case Op::kVindexmac2Vx:
+    case Op::kVfindexmac2Vx:
       return true;
     default:
       return false;
@@ -286,6 +298,10 @@ std::string mnemonic(Op op) {
     case Op::kVslide1downVx: return "vslide1down.vx";
     case Op::kVindexmacVx: return "vindexmac.vx";
     case Op::kVfindexmacVx: return "vfindexmac.vx";
+    case Op::kVindexmacpVx: return "vindexmacp.vx";
+    case Op::kVfindexmacpVx: return "vfindexmacp.vx";
+    case Op::kVindexmac2Vx: return "vindexmac2.vx";
+    case Op::kVfindexmac2Vx: return "vfindexmac2.vx";
   }
   raise("mnemonic: unknown op");
 }

@@ -63,6 +63,20 @@ enum class Op : std::uint8_t {
   //   vd[i] += vs2[0] * VRF[x[rs1] & 0x1f][i]
   // Integer and fp32 element interpretations share the datapath.
   kVindexmacVx, kVfindexmacVx,
+  // Follow-up-paper variants (arXiv:2501.10189, "Optimizing Structured-
+  // Sparse Matrix Multiplication in RISC-V Vector Processors"):
+  //  * vindexmacp.vx — packed-index form: the B-row source is named by the
+  //    low nibble of x[rs1], addressing the upper half of the register
+  //    file (VRF[16 | (x[rs1] & 0xf)]). Kernels consume a packed
+  //    16-nibble index word with plain scalar shifts instead of one
+  //    vmv.x.s round trip per non-zero slot.
+  //  * vindexmac2.vx — dual-row form: one issue multiply-accumulates two
+  //    adjacent A slots (values vs2[0] and vs2[1], indices nibbles 0 and 1
+  //    of x[rs1]), equivalent to two back-to-back vindexmacp.vx ops. It
+  //    occupies the MAC datapath for two operations but costs a single
+  //    dispatch, halving the dependent-MAC chain on the accumulator.
+  kVindexmacpVx, kVfindexmacpVx,
+  kVindexmac2Vx, kVfindexmac2Vx,
 };
 
 /// A decoded instruction. Register fields are interpreted per-op:

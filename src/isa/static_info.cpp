@@ -31,6 +31,10 @@ std::uint8_t vector_reads_of(Op op) {
     case Op::kVfmaccVf:
     case Op::kVindexmacVx:
     case Op::kVfindexmacVx:
+    case Op::kVindexmacpVx:
+    case Op::kVfindexmacpVx:
+    case Op::kVindexmac2Vx:
+    case Op::kVfindexmac2Vx:
       return kVReadRd | kVReadRs2;
     case Op::kVle32:
     case Op::kVmvVX:
@@ -59,6 +63,10 @@ VLatClass latency_class_of(Op op) {
     case Op::kVfmaccVf:
     case Op::kVindexmacVx:
     case Op::kVfindexmacVx:
+    case Op::kVindexmacpVx:
+    case Op::kVfindexmacpVx:
+    case Op::kVindexmac2Vx:
+    case Op::kVfindexmac2Vx:
       return VLatClass::kMac;
     case Op::kVslidedownVx:
     case Op::kVslidedownVi:
@@ -101,9 +109,14 @@ StaticInstInfo predecode(const Instruction& inst) {
   if (writes_f(inst)) s.flags |= kSiWritesF;
   if (writes_v(inst)) s.flags |= kSiWritesV;
   if (op == Op::kVluxei32) s.flags |= kSiGather;
-  if (op == Op::kVindexmacVx || op == Op::kVfindexmacVx) s.flags |= kSiIndirectVreg;
+  const bool packed_mac = op == Op::kVindexmacpVx || op == Op::kVfindexmacpVx ||
+                          op == Op::kVindexmac2Vx || op == Op::kVfindexmac2Vx;
+  if (op == Op::kVindexmacVx || op == Op::kVfindexmacVx || packed_mac)
+    s.flags |= kSiIndirectVreg;
+  if (packed_mac) s.flags |= kSiPackedIndex;
+  if (op == Op::kVindexmac2Vx || op == Op::kVfindexmac2Vx) s.flags |= kSiDualMac;
   if (op == Op::kVmaccVx || op == Op::kVfmaccVf || op == Op::kVindexmacVx ||
-      op == Op::kVfindexmacVx)
+      op == Op::kVfindexmacVx || packed_mac)
     s.flags |= kSiVectorMac;
 
   if (s.has(kSiScalarLoad | kSiScalarStore))

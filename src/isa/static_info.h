@@ -35,8 +35,10 @@ enum : std::uint32_t {
   kSiWritesF = 1u << 15,
   kSiWritesV = 1u << 16,
   kSiGather = 1u << 17,        ///< vluxei32: per-element addresses
-  kSiIndirectVreg = 1u << 18,  ///< v(f)indexmac: extra VRF read via x[rs1]
+  kSiIndirectVreg = 1u << 18,  ///< v(f)indexmac*: extra VRF read(s) via x[rs1]
   kSiVectorMac = 1u << 19,     ///< counted in TimingStats::vector_macs
+  kSiPackedIndex = 1u << 20,   ///< v(f)indexmacp/2: VRF source is 16 | nibble
+  kSiDualMac = 1u << 21,       ///< v(f)indexmac2: two MAC ops per dispatch
 };
 
 /// Vector-engine latency class; the timing model resolves each class to a

@@ -31,6 +31,7 @@ constexpr unsigned kXStripBound = 27;  // A-stationary strip loop bound
 constexpr unsigned kXGroupAvalBase = 28;  // A-group base pointers (strided traversals)
 constexpr unsigned kXGroupAidxBase = 29;
 constexpr unsigned kXValXfer0 = 30;    // integer value transfer scratch (i32 Alg2), +1
+constexpr unsigned kXPacked0 = 1;      // x1..x4: packed index words (Alg4), one per unrolled row
 
 // Vector register allocation.
 constexpr unsigned kVAcc = 0;      // v0..v3: C accumulators (U <= 4)
@@ -53,7 +54,23 @@ class Generator {
     IMAC_CHECK(b_tile_base_vreg(l_.tile_rows) >= kVMasterVal,
                "B tile would collide with working vector registers");
     prologue();
-    emit_strips([this](bool tail) { bstationary_strip_body(/*preload=*/true, tail); });
+    emit_strips([this](bool tail) { bstationary_strip_body(Inner::kIndexmac, tail); });
+    epilogue();
+    return a_.finish();
+  }
+
+  Program algorithm4() {
+    // One bound covers both constraints (kVMasterVal == 16): the tile must
+    // clear the working registers AND sit in v16..v31, the only half the
+    // packed nibble indices can address.
+    static_assert(kVMasterVal == 16);
+    IMAC_CHECK(b_tile_base_vreg(l_.tile_rows) >= 16,
+               "Algorithm 4 needs the B tile in v16..v31 (nibble-addressable, "
+               "clear of working registers)");
+    IMAC_CHECK(l_.slots_per_tile <= 16,
+               "Algorithm 4 packs at most 16 index nibbles per (row, k-tile)");
+    prologue();
+    emit_strips([this](bool tail) { bstationary_strip_body(Inner::kIndexmac4, tail); });
     epilogue();
     return a_.finish();
   }
@@ -62,7 +79,7 @@ class Generator {
     prologue();
     switch (o_.dataflow) {
       case Dataflow::kBStationary:
-        emit_strips([this](bool tail) { bstationary_strip_body(/*preload=*/false, tail); });
+        emit_strips([this](bool tail) { bstationary_strip_body(Inner::kRowwise, tail); });
         break;
       case Dataflow::kCStationary:
         emit_strips([this](bool tail) { cstationary_strip_body(tail); });
@@ -86,6 +103,13 @@ class Generator {
 
  private:
   using Label = Assembler::Label;
+
+  /// Inner-loop flavor of the shared B-stationary strip body.
+  enum class Inner {
+    kRowwise,    ///< Algorithm 2: per-slot B-row loads from memory
+    kIndexmac,   ///< Algorithm 3: preloaded tile + vmv.x.s/vindexmac
+    kIndexmac4,  ///< Algorithm 4: preloaded tile + packed-index dual MACs
+  };
 
   // ---- small helpers ----
 
@@ -145,6 +169,18 @@ class Generator {
     }
   }
 
+  /// Algorithm 4: loads the A value strips plus each row's packed 64-bit
+  /// index word (one scalar ld per row; the stream holds one word per
+  /// (ktile, row) in [ktile][row] order).
+  void load_a_group_packed(unsigned u) {
+    for (unsigned r = 0; r < u; ++r) {
+      a_.addi(x(kXAddr), x(kXAval), static_cast<std::int32_t>(r * slots4()));
+      a_.vle32(v(kVVal + r), x(kXAddr));
+    }
+    for (unsigned r = 0; r < u; ++r)
+      a_.ld(x(kXPacked0 + r), x(kXAidx), static_cast<std::int32_t>(r * 8));
+  }
+
   /// Turns the loaded byte-offset indices into absolute B row addresses
   /// for the current strip (paper Alg. 2 line 5).
   void adjust_indices_group(unsigned u) {
@@ -195,6 +231,35 @@ class Generator {
     }
   }
 
+  /// Algorithm 4 inner body: adjacent slot pairs issue as one dual-row MAC
+  /// whose two indices are the low byte of the packed word; plain scalar
+  /// shifts walk the word (1-cycle ALU ops), replacing Algorithm 3's
+  /// per-slot vmv.x.s round trips, and each pair slides the value strip
+  /// down by two. An odd trailing slot issues as a single packed MAC.
+  void inner_indexmac4(unsigned u) {
+    const unsigned slots = l_.slots_per_tile;
+    for (unsigned consumed = 0; consumed + 2 <= slots; consumed += 2) {
+      for (unsigned r = 0; r < u; ++r) {
+        if (o_.elem == ElemType::kF32)
+          a_.vfindexmac2_vx(v(kVAcc + r), v(kVVal + r), x(kXPacked0 + r));
+        else
+          a_.vindexmac2_vx(v(kVAcc + r), v(kVVal + r), x(kXPacked0 + r));
+      }
+      if (consumed + 2 < slots) {  // more slots follow: expose the next pair
+        for (unsigned r = 0; r < u; ++r) a_.srli(x(kXPacked0 + r), x(kXPacked0 + r), 8);
+        for (unsigned r = 0; r < u; ++r) a_.vslidedown_vi(v(kVVal + r), v(kVVal + r), 2);
+      }
+    }
+    if (slots % 2 != 0) {
+      for (unsigned r = 0; r < u; ++r) {
+        if (o_.elem == ElemType::kF32)
+          a_.vfindexmacp_vx(v(kVAcc + r), v(kVVal + r), x(kXPacked0 + r));
+        else
+          a_.vindexmacp_vx(v(kVAcc + r), v(kVVal + r), x(kXPacked0 + r));
+      }
+    }
+  }
+
   /// Algorithm 2 inner body: per non-zero slot, move the B row address to a
   /// scalar register, load the B row from memory, move the value to a
   /// scalar register and multiply-accumulate (paper Alg. 2 lines 7-12).
@@ -220,10 +285,12 @@ class Generator {
     }
   }
 
-  /// Advances the A stream and C row pointers past `u` rows.
-  void advance_group(unsigned u) {
+  /// Advances the A stream and C row pointers past `u` rows. The index
+  /// stream stride differs per form: one word per slot (Algorithms 2/3)
+  /// vs one packed 64-bit word per row (Algorithm 4).
+  void advance_group(unsigned u, unsigned idx_bytes_per_row) {
     a_.addi(x(kXAval), x(kXAval), static_cast<std::int32_t>(u * slots4()));
-    a_.addi(x(kXAidx), x(kXAidx), static_cast<std::int32_t>(u * slots4()));
+    a_.addi(x(kXAidx), x(kXAidx), static_cast<std::int32_t>(u * idx_bytes_per_row));
     for (unsigned r = 0; r < u; ++r) a_.add(x(kXCRow), x(kXCRow), x(kXCPitch));
   }
 
@@ -253,11 +320,12 @@ class Generator {
     }
   }
 
-  /// B-stationary strip body used by Algorithm 3 (preload=true) and the
-  /// B-stationary variant of Algorithm 2 (preload=false):
+  /// B-stationary strip body shared by Algorithms 3 and 4 (preloaded B
+  /// tiles) and the B-stationary variant of Algorithm 2:
   ///   for each k-tile: [preload B tile;] for each row group:
   ///     load A strips (+C), run the inner body, store C.
-  void bstationary_strip_body(bool preload, bool tail) {
+  void bstationary_strip_body(Inner inner, bool tail) {
+    const bool preload = inner != Inner::kRowwise;
     a_.li(x(kXAval), static_cast<std::int64_t>(l_.a_values));
     a_.li(x(kXAidx), static_cast<std::int64_t>(l_.a_indices));
     a_.mv(x(kXBTile), x(kXBStrip));
@@ -270,16 +338,20 @@ class Generator {
     marker(kMarkerPreloadDone);
     a_.mv(x(kXCRow), x(kXCStrip));
     emit_row_groups([&](unsigned u) {
-      load_a_group(u);
-      if (!preload) adjust_indices_group(u);
-      load_c_group(u);
-      if (preload)
-        inner_indexmac(u);
+      if (inner == Inner::kIndexmac4)
+        load_a_group_packed(u);
       else
-        inner_rowwise(u);
+        load_a_group(u);
+      if (inner == Inner::kRowwise) adjust_indices_group(u);
+      load_c_group(u);
+      switch (inner) {
+        case Inner::kRowwise: inner_rowwise(u); break;
+        case Inner::kIndexmac: inner_indexmac(u); break;
+        case Inner::kIndexmac4: inner_indexmac4(u); break;
+      }
       store_c_group(u, tail);
       marker(kMarkerRowGroupDone);
-      advance_group(u);
+      advance_group(u, inner == Inner::kIndexmac4 ? 8 : slots4());
     });
     if (preload) a_.add(x(kXBTile), x(kXBTile), x(kXKtileStep));
     a_.addi(x(kXKtile), x(kXKtile), 1);
@@ -459,6 +531,12 @@ Program emit_rowwise_spmm_kernel(const SpmmLayout& layout, const KernelOptions& 
   return Generator(layout, options).rowwise();
 }
 
+Program emit_algorithm4(const SpmmLayout& layout, const KernelOptions& options) {
+  IMAC_CHECK(options.dataflow == Dataflow::kBStationary,
+             "Algorithm 4 is B-stationary by construction");
+  return Generator(layout, options).algorithm4();
+}
+
 Program emit_dense_rowwise_kernel(const SpmmLayout& layout, std::uint64_t a_dense_base,
                                   std::size_t a_pitch_elems, const KernelOptions& options) {
   IMAC_CHECK(options.unroll == 1, "the dense baseline supports unroll=1 only");
@@ -483,6 +561,19 @@ KernelFootprint predict_rowwise_footprint(const SpmmLayout& layout) {
   fp.vector_loads = strips * layout.num_ktiles * layout.dims.rows_a * per_row_loads;
   fp.vector_stores = strips * layout.num_ktiles * layout.dims.rows_a;
   fp.macs = strips * layout.num_ktiles * layout.dims.rows_a * layout.slots_per_tile;
+  return fp;
+}
+
+KernelFootprint predict_algorithm4_footprint(const SpmmLayout& layout) {
+  const std::uint64_t strips = layout.full_strips() + (layout.tail_cols() != 0 ? 1 : 0);
+  // Preload + per row (values + C): the per-row index strip load of
+  // Algorithm 3 becomes one scalar ld of the packed word instead.
+  const std::uint64_t per_ktile_loads = layout.tile_rows + 2ull * layout.dims.rows_a;
+  KernelFootprint fp;
+  fp.vector_loads = strips * layout.num_ktiles * per_ktile_loads;
+  fp.vector_stores = strips * layout.num_ktiles * layout.dims.rows_a;
+  fp.macs = strips * layout.num_ktiles * layout.dims.rows_a * layout.slots_per_tile;
+  fp.scalar_loads = strips * layout.num_ktiles * layout.dims.rows_a;
   return fp;
 }
 

@@ -8,6 +8,12 @@
 //  * Algorithm 3 — "Proposed": B tiles are preloaded into v[base..base+L)
 //    and the per-non-zero vector load is replaced by the custom
 //    vindexmac instruction's indirect VRF read.
+//  * Algorithm 4 — follow-up paper (arXiv:2501.10189): like Algorithm 3,
+//    but the per-(row, k-tile) indices arrive as one packed 64-bit nibble
+//    word loaded with a scalar ld and consumed with scalar shifts —
+//    eliminating Algorithm 3's per-slot vmv.x.s round trips — and
+//    adjacent slot pairs issue as one dual-row vindexmac2 MAC, halving
+//    the dependent-MAC chain on each accumulator.
 //
 // All generators emit complete, self-contained programs (addresses baked as
 // immediates) that halt with ebreak; loop unrolling over U output rows
@@ -62,6 +68,12 @@ struct KernelOptions {
 [[nodiscard]] Program emit_rowwise_spmm_kernel(const SpmmLayout& layout,
                                                const KernelOptions& options);
 
+/// Algorithm 4 (packed-index + dual-row vindexmac variants). B-stationary
+/// by construction, like Algorithm 3; honors unroll and markers. Requires
+/// the B tile in the upper register-file half (tile_rows <= 16) and
+/// layout.slots_per_tile <= 16 (one packed 64-bit index word per row).
+[[nodiscard]] Program emit_algorithm4(const SpmmLayout& layout, const KernelOptions& options);
+
 /// Algorithm 1 (dense row-wise). A is stored dense, row-major with pitch
 /// round_up(k,16); the sparse layout fields a_values/a_indices are unused —
 /// pass the dense A base via `a_dense_base`.
@@ -75,12 +87,15 @@ struct KernelOptions {
 struct KernelFootprint {
   std::uint64_t vector_loads = 0;   ///< vle32 executed
   std::uint64_t vector_stores = 0;  ///< vse32 executed
-  std::uint64_t macs = 0;           ///< vfmacc/vmacc/vindexmac executed
+  std::uint64_t macs = 0;           ///< MAC operations (dual-row forms count 2)
+  std::uint64_t scalar_loads = 0;   ///< ld/lw executed (Algorithm 4's index words)
 };
 
 /// Predicts dynamic memory-operation counts for Algorithm 3.
 [[nodiscard]] KernelFootprint predict_indexmac_footprint(const SpmmLayout& layout);
 /// Predicts dynamic memory-operation counts for Algorithm 2, B-stationary.
 [[nodiscard]] KernelFootprint predict_rowwise_footprint(const SpmmLayout& layout);
+/// Predicts dynamic memory-operation counts for Algorithm 4.
+[[nodiscard]] KernelFootprint predict_algorithm4_footprint(const SpmmLayout& layout);
 
 }  // namespace indexmac::kernels

@@ -3,6 +3,7 @@
 // kernel code generation (kernels).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "common/bitutil.h"
@@ -47,6 +48,13 @@ struct SpmmLayout {
   [[nodiscard]] std::size_t a_stream_words() const {
     return num_ktiles * dims.rows_a * slots_per_tile;
   }
+  /// Bytes reserved for the A index stream. Sized for both index layouts —
+  /// one 32-bit word per slot (Algorithms 2/3) and one packed 64-bit nibble
+  /// word per (row, k-tile) (Algorithm 4) — so a single layout serves every
+  /// kernel; the forms only differ when slots_per_tile < 2.
+  [[nodiscard]] std::size_t a_index_bytes() const {
+    return std::max<std::size_t>(a_stream_words() * 4, num_ktiles * dims.rows_a * 8);
+  }
 };
 
 /// Computes the layout for `dims` under `sp` sparsity with an L-row B tile,
@@ -67,7 +75,7 @@ struct SpmmLayout {
   out.b_pitch_elems = round_up(dims.cols_b, isa::kVlMax);
   out.c_pitch_elems = out.b_pitch_elems;
   out.a_values = alloc.alloc(out.a_stream_words() * 4);
-  out.a_indices = alloc.alloc(out.a_stream_words() * 4);
+  out.a_indices = alloc.alloc(out.a_index_bytes());
   out.b_base = alloc.alloc(out.k_padded * out.b_pitch_elems * 4);
   out.c_base = alloc.alloc(dims.rows_a * out.c_pitch_elems * 4);
   return out;

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <random>
 #include <span>
+#include <type_traits>  // std::is_floating_point_v in random_matrix
 #include <vector>
 
 #include "common/error.h"

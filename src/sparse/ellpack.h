@@ -7,7 +7,9 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>    // std::abs(float)
 #include <cstdint>
+#include <cstdlib>  // std::abs(int)
 #include <vector>
 
 #include "common/bitutil.h"

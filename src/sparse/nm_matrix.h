@@ -7,7 +7,9 @@
 // vectors the paper's kernels rely on.
 #pragma once
 
+#include <cmath>    // std::abs(float) in prune_from_dense
 #include <cstdint>
+#include <cstdlib>  // std::abs(int) for integral instantiations
 #include <vector>
 
 #include "common/bitutil.h"

@@ -11,6 +11,13 @@
 //    register number that holds its B row once the L-row tile is preloaded
 //    (base_vreg + row-within-tile). Structured sparsity bounds the in-block
 //    index by M, which is what makes this precomputation possible.
+//  * kPackedNibble — for Algorithm 4 (vindexmacp/vindexmac2, the
+//    follow-up paper's packed-index variants): all of a row's per-k-tile
+//    indices are packed as 4-bit nibbles into one 64-bit word (slot s in
+//    bits [4s, 4s+4)). Each nibble addresses the upper half of the
+//    register file — VRF[16 | nibble] — which the B tile occupies by
+//    convention, so the kernel loads one scalar word per (row, k-tile)
+//    and feeds successive slots to the MAC with plain scalar shifts.
 #pragma once
 
 #include <cstdint>
@@ -20,7 +27,7 @@
 
 namespace indexmac::sparse {
 
-enum class IndexMode { kByteOffset, kVrfIndex };
+enum class IndexMode { kByteOffset, kVrfIndex, kPackedNibble };
 
 /// Parameters shared by the packer and the kernel generators.
 struct PackConfig {
@@ -42,6 +49,9 @@ struct PackedA {
   IndexMode mode = IndexMode::kVrfIndex;
   /// values[(t * rows + r) * slots_per_tile + s]
   std::vector<T> values;
+  /// kByteOffset/kVrfIndex: one word per slot, parallel to `values`.
+  /// kPackedNibble: two words per (ktile, row) — the little-endian halves
+  /// of the 64-bit packed index word (slot s in bits [4s, 4s+4)).
   std::vector<std::int32_t> indices;
 
   [[nodiscard]] std::size_t slot_offset(std::size_t ktile, std::size_t row) const {
@@ -67,7 +77,17 @@ template <typename T>
   out.slots_per_tile = blocks_per_tile * sp.n;
   out.mode = config.mode;
   out.values.assign(out.num_ktiles * out.rows * out.slots_per_tile, T{});
-  out.indices.assign(out.values.size(), 0);
+  if (config.mode == IndexMode::kPackedNibble) {
+    // Nibble addressing covers VRF[16..31]: the tile must sit in the upper
+    // half of the register file, and all slots must fit one 64-bit word.
+    IMAC_CHECK(config.base_vreg >= 16 && config.base_vreg + config.tile_rows <= 32,
+               "packed-nibble indices require the B tile in v16..v31");
+    IMAC_CHECK(out.slots_per_tile <= 16,
+               "packed index word holds at most 16 nibble slots per (row, k-tile)");
+    out.indices.assign(out.num_ktiles * out.rows * 2, 0);
+  } else {
+    out.indices.assign(out.values.size(), 0);
+  }
 
   for (std::size_t t = 0; t < out.num_ktiles; ++t)
     for (std::size_t r = 0; r < out.rows; ++r) {
@@ -75,7 +95,8 @@ template <typename T>
       for (unsigned bt = 0; bt < blocks_per_tile; ++bt) {
         const std::size_t block = t * blocks_per_tile + bt;
         for (unsigned s = 0; s < sp.n; ++s) {
-          const std::size_t slot = base + bt * sp.n + s;
+          const unsigned tile_slot = bt * sp.n + s;
+          const std::size_t slot = base + tile_slot;
           std::uint32_t local = sp.m - 1;  // padding default (zero value)
           if (block < a.blocks_per_row()) {
             out.values[slot] = a.value_at(r, block, s);
@@ -84,6 +105,12 @@ template <typename T>
           const std::uint32_t row_in_tile = bt * sp.m + local;
           if (config.mode == IndexMode::kVrfIndex) {
             out.indices[slot] = static_cast<std::int32_t>(config.base_vreg + row_in_tile);
+          } else if (config.mode == IndexMode::kPackedNibble) {
+            const std::uint32_t nibble = config.base_vreg + row_in_tile - 16;
+            const std::size_t word = (t * out.rows + r) * 2 + (tile_slot >> 3);
+            out.indices[word] = static_cast<std::int32_t>(
+                static_cast<std::uint32_t>(out.indices[word]) |
+                (nibble << ((tile_slot & 7) * 4)));
           } else {
             const std::uint64_t global_row = t * config.tile_rows + row_in_tile;
             out.indices[slot] =
@@ -129,6 +156,11 @@ template <typename T>
         std::size_t row;
         if (a.mode == IndexMode::kVrfIndex) {
           row = t * l + (static_cast<std::uint32_t>(a.indices[base + s]) - base_vreg);
+        } else if (a.mode == IndexMode::kPackedNibble) {
+          const std::size_t word = (t * a.rows + r) * 2 + (s >> 3);
+          const std::uint32_t nibble =
+              (static_cast<std::uint32_t>(a.indices[word]) >> ((s & 7) * 4)) & 0xf;
+          row = t * l + (16 + nibble - base_vreg);
         } else {
           row = static_cast<std::uint32_t>(a.indices[base + s]) / (b_pitch_elems * sizeof(T));
         }

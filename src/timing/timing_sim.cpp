@@ -233,14 +233,17 @@ class Model {
     if (vreads & isa::kVReadRd) deps = std::max(deps, v_ready_[d.inst.rd]);
     if (vreads & isa::kVReadRs1) deps = std::max(deps, v_ready_[d.inst.rs1]);
     if (vreads & isa::kVReadRs2) deps = std::max(deps, v_ready_[d.inst.rs2]);
-    if (d.info->has(isa::kSiIndirectVreg))
+    if (d.info->has(isa::kSiIndirectVreg)) {
       deps = std::max(deps, v_ready_[d.indirect_vreg]);  // the indirect VRF read
+      if (d.info->has(isa::kSiDualMac)) deps = std::max(deps, v_ready_[d.indirect_vreg2]);
+    }
 
     const std::uint64_t occupancy =
         std::max<std::uint64_t>(1, ceil_div(std::max<std::uint32_t>(d.vl, 1), vc.lanes));
     std::uint64_t e_issue = std::max({send + vc.dispatch_latency, engine_next_issue_, deps});
 
     std::uint64_t ready_for_rob = send;  // most vector ops complete at send
+    std::uint64_t engine_ops = occupancy;  // lane time the engine is busy for
 
     if (d.info->has(isa::kSiGather)) {
       // Gather: one element access per address, a few addresses per cycle.
@@ -284,11 +287,18 @@ class Model {
       ++stats_.vector_to_scalar_moves;
     } else {
       const unsigned latency = vlat_cycles_[static_cast<int>(d.info->vlat)];
-      if (d.info->has(isa::kSiVectorMac)) ++stats_.vector_macs;
-      v_ready_[d.inst.rd] = e_issue + latency;
+      const bool dual = d.info->has(isa::kSiDualMac);
+      if (d.info->has(isa::kSiVectorMac)) stats_.vector_macs += dual ? 2 : 1;
+      // Dual-row MACs run two back-to-back operations through the MAC
+      // pipeline: the second starts one occupancy slice after the first,
+      // so the accumulator is ready one slice later and the engine stays
+      // busy for two operations' worth of lane time — while costing a
+      // single dispatch and a single queue slot.
+      v_ready_[d.inst.rd] = e_issue + latency + (dual ? occupancy : 0);
+      if (dual) engine_ops = 2 * occupancy;
     }
 
-    engine_next_issue_ = e_issue + occupancy;
+    engine_next_issue_ = e_issue + engine_ops;
     viq_.claim(e_issue);  // the queue slot frees when the engine issues
     return ready_for_rob;
   }

@@ -32,7 +32,8 @@ struct DynInst {
   std::uint64_t mem_addr = 0;       ///< loads/stores: effective address
   std::uint32_t mem_bytes = 0;      ///< loads/stores: access size
   std::uint32_t vl = 0;             ///< vector length governing this op
-  std::uint8_t indirect_vreg = 0;   ///< vindexmac: resolved VRF source
+  std::uint8_t indirect_vreg = 0;   ///< v(f)indexmac*: resolved VRF source
+  std::uint8_t indirect_vreg2 = 0;  ///< dual-row forms: second VRF source
   std::uint32_t gather_count = 0;   ///< vluxei32: number of element addresses
   const std::uint64_t* gather_addrs = nullptr;  ///< vluxei32: per-element addresses
   std::int32_t marker_id = -1;      ///< markers: id, else -1
@@ -70,6 +71,7 @@ class TraceSource {
     out.mem_addr = 0;
     out.mem_bytes = 0;
     out.indirect_vreg = 0;
+    out.indirect_vreg2 = 0;
     out.gather_count = 0;
     out.gather_addrs = gather_scratch_.data();
     out.marker_id = -1;
@@ -85,7 +87,14 @@ class TraceSource {
       out.mem_addr = pre.x[in.rs1];
       out.mem_bytes = pre.vl * 4;
     } else if (si.has(isa::kSiIndirectVreg)) {
-      out.indirect_vreg = static_cast<std::uint8_t>(pre.x[in.rs1] & 0x1f);
+      const std::uint64_t packed = pre.x[in.rs1];
+      if (si.has(isa::kSiPackedIndex)) {
+        out.indirect_vreg = static_cast<std::uint8_t>(16u | (packed & 0xf));
+        if (si.has(isa::kSiDualMac))
+          out.indirect_vreg2 = static_cast<std::uint8_t>(16u | ((packed >> 4) & 0xf));
+      } else {
+        out.indirect_vreg = static_cast<std::uint8_t>(packed & 0x1f);
+      }
     } else if (si.has(isa::kSiMarker)) {
       out.marker_id = in.imm;
     }

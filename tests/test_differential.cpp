@@ -166,16 +166,18 @@ TEST(SampledVsExactMatrix, TransformerShapesAcrossDataflowsAndUnrolls) {
     for (const auto df : {kernels::Dataflow::kAStationary, kernels::Dataflow::kBStationary,
                           kernels::Dataflow::kCStationary})
       for (const unsigned unroll : {1u, 2u, 4u, 8u})
-        for (const auto alg : {Algorithm::kRowwiseSpmm, Algorithm::kIndexmac}) {
+        for (const auto alg :
+             {Algorithm::kRowwiseSpmm, Algorithm::kIndexmac, Algorithm::kIndexmac4}) {
           SCOPED_TRACE(std::string(shape.label) + " df=" +
                        std::to_string(static_cast<int>(df)) + " u" + std::to_string(unroll) +
                        " " + core::algorithm_name(alg));
           RunConfig config{.algorithm = alg, .kernel = {.unroll = unroll, .dataflow = df}};
 
-          // The generators document unroll in [1,4] and Algorithm 3 as
+          // The generators document unroll in [1,4] and Algorithms 3/4 as
           // B-stationary-only; those cells must reject, not mis-simulate.
           const bool kernel_supported =
-              unroll <= 4 && (alg != Algorithm::kIndexmac || df == kernels::Dataflow::kBStationary);
+              unroll <= 4 &&
+              (alg == Algorithm::kRowwiseSpmm || df == kernels::Dataflow::kBStationary);
           // The sampled runner additionally documents B-stationary-only.
           const bool sampled_supported =
               kernel_supported && df == kernels::Dataflow::kBStationary;
@@ -213,7 +215,8 @@ TEST(SampledVsExactMatrix, BothSparsitiesOnTransformerShapes) {
   for (const MatrixShape& shape : transformer_matrix_shapes()) {
     const core::SpmmProblem problem =
         core::SpmmProblem::random(shape.dims, sparse::kSparsity14, seed++);
-    for (const auto alg : {Algorithm::kRowwiseSpmm, Algorithm::kIndexmac}) {
+    for (const auto alg :
+         {Algorithm::kRowwiseSpmm, Algorithm::kIndexmac, Algorithm::kIndexmac4}) {
       SCOPED_TRACE(std::string(shape.label) + " " + core::algorithm_name(alg));
       const RunConfig config{.algorithm = alg, .kernel = {.unroll = 4}};
       const auto exact = core::run_exact(problem, config, proc);
@@ -223,6 +226,78 @@ TEST(SampledVsExactMatrix, BothSparsitiesOnTransformerShapes) {
       EXPECT_LT(err, kSampledErrorBound)
           << "sampled=" << sampled.cycles << " exact=" << exact.stats.cycles;
       EXPECT_EQ(sampled.data_accesses, exact.data_accesses());
+    }
+  }
+}
+
+/// Functional run of one prepared configuration; returns the C matrix.
+sparse::DenseMatrix<float> run_functional(const core::SpmmProblem& problem,
+                                          const core::RunConfig& config) {
+  MainMemory mem;
+  const core::PreparedRun run = core::prepare(problem, config, mem);
+  Machine machine(run.program, mem);
+  const StopReason stop = machine.run(200'000'000);
+  EXPECT_EQ(stop, StopReason::kEbreak) << "kernel did not halt";
+  return core::read_c(run, mem);
+}
+
+TEST(NonPaperSparsities, AllFourAlgorithmsBitExactAcrossDataflows) {
+  // Beyond the paper's 1:4 / 2:4: wider blocks (1:8, 3:8 — odd slot
+  // counts) and M equal to the full tile (2:16). Every algorithm that
+  // structurally supports the cell must reproduce spmm_reference
+  // BIT-EXACTLY: the kernels accumulate non-zeros in the same k-ascending
+  // order the reference uses, and padding slots contribute exact +0.0f.
+  using core::Algorithm;
+  using core::RunConfig;
+  const kernels::GemmDims dims{9, 50, 33};  // ragged rows, k and columns
+  std::uint32_t seed = 400;
+  for (const sparse::Sparsity sp :
+       {sparse::Sparsity{1, 8}, sparse::Sparsity{3, 8}, sparse::Sparsity{2, 16}}) {
+    const core::SpmmProblem problem = core::SpmmProblem::random(dims, sp, seed++);
+    const sparse::DenseMatrix<float> ref = problem.reference();
+    for (const auto alg : {Algorithm::kDenseRowwise, Algorithm::kRowwiseSpmm,
+                           Algorithm::kIndexmac, Algorithm::kIndexmac4})
+      for (const auto df : {kernels::Dataflow::kAStationary, kernels::Dataflow::kBStationary,
+                            kernels::Dataflow::kCStationary}) {
+        const bool supported =
+            df == kernels::Dataflow::kBStationary || alg == Algorithm::kRowwiseSpmm;
+        if (!supported) continue;  // Algs 1/3/4 are B-stationary by construction
+        const unsigned unroll = alg == Algorithm::kDenseRowwise ? 1u : 4u;
+        SCOPED_TRACE(std::string(core::algorithm_name(alg)) + " df=" +
+                     std::to_string(static_cast<int>(df)) + " " + std::to_string(sp.n) + ":" +
+                     std::to_string(sp.m));
+        const RunConfig config{.algorithm = alg, .kernel = {.unroll = unroll, .dataflow = df}};
+        const sparse::DenseMatrix<float> c = run_functional(problem, config);
+        ASSERT_EQ(c.rows(), ref.rows());
+        ASSERT_EQ(c.cols(), ref.cols());
+        for (std::size_t i = 0; i < ref.rows(); ++i)
+          for (std::size_t j = 0; j < ref.cols(); ++j)
+            ASSERT_EQ(c.at(i, j), ref.at(i, j)) << "(" << i << "," << j << ")";
+      }
+  }
+}
+
+TEST(NonPaperSparsities, Algorithm4MatchesAlgorithm3BitExactly) {
+  // The packed-index/dual-row kernel must produce the exact bits of the
+  // Algorithm 3 kernel (same MAC order, different instruction forms).
+  using core::Algorithm;
+  const kernels::GemmDims dims{11, 48, 31};
+  std::uint32_t seed = 500;
+  for (const sparse::Sparsity sp :
+       {sparse::kSparsity14, sparse::kSparsity24, sparse::Sparsity{1, 8},
+        sparse::Sparsity{3, 8}, sparse::Sparsity{2, 16}}) {
+    const core::SpmmProblem problem = core::SpmmProblem::random(dims, sp, seed++);
+    for (const unsigned unroll : {1u, 2u, 4u}) {
+      SCOPED_TRACE(std::to_string(sp.n) + ":" + std::to_string(sp.m) + " u" +
+                   std::to_string(unroll));
+      const auto c3 = run_functional(
+          problem, core::RunConfig{.algorithm = Algorithm::kIndexmac, .kernel = {.unroll = unroll}});
+      const auto c4 = run_functional(
+          problem,
+          core::RunConfig{.algorithm = Algorithm::kIndexmac4, .kernel = {.unroll = unroll}});
+      for (std::size_t i = 0; i < c3.rows(); ++i)
+        for (std::size_t j = 0; j < c3.cols(); ++j)
+          ASSERT_EQ(c3.at(i, j), c4.at(i, j)) << "(" << i << "," << j << ")";
     }
   }
 }

@@ -367,6 +367,76 @@ TEST(Fsim, VfindexmacFloatIndirectRead) {
     EXPECT_FLOAT_EQ(r.state().velem_f32(2, i), 1.0f - 0.5f * static_cast<float>(i));
 }
 
+TEST(Fsim, VindexmacpPackedNibbleAddressesUpperHalf) {
+  Assembler a;
+  a.li(x(1), 16);
+  a.vsetvli_e32m1(x(0), x(1));
+  a.li(x(2), 0x1000);
+  a.vle32(v(24), x(2));             // B row in the upper register-file half
+  a.li(x(3), 0x2000);
+  a.vle32(v(1), x(3));
+  a.vmv_v_i(v(2), 0);
+  a.li(x(4), 0xa8);                 // low nibble 8 -> v24; upper bits ignored
+  a.vindexmacp_vx(v(2), v(1), x(4));
+  a.ebreak();
+  SimRun r(a);
+  std::vector<std::int32_t> brow(16);
+  for (int i = 0; i < 16; ++i) brow[i] = i + 1;
+  r.mem.write_i32s(0x1000, brow);
+  std::vector<std::int32_t> values(16, 0);
+  values[0] = 3;
+  r.mem.write_i32s(0x2000, values);
+  r.go();
+  for (unsigned i = 0; i < 16; ++i) EXPECT_EQ(r.state().v[2][i], 3u * (i + 1));
+}
+
+TEST(Fsim, Vindexmac2EqualsTwoPackedMacs) {
+  // One dual-row MAC must be bit-identical to two packed MACs consuming
+  // nibbles 0 and 1 with values vs2[0] and vs2[1].
+  const auto build = [](bool dual) {
+    Assembler a;
+    a.li(x(1), 16);
+    a.vsetvli_e32m1(x(0), x(1));
+    a.li(x(2), 0x1000);
+    a.vle32(v(20), x(2));           // rows v20 (nibble 4) and v21 (nibble 5)
+    a.li(x(2), 0x1040);
+    a.vle32(v(21), x(2));
+    a.li(x(3), 0x2000);
+    a.vle32(v(1), x(3));            // values: vs2[0], vs2[1]
+    a.vmv_v_i(v(2), 0);
+    a.li(x(4), 0x54);               // nibbles: slot0 -> 4 (v20), slot1 -> 5 (v21)
+    if (dual) {
+      a.vfindexmac2_vx(v(2), v(1), x(4));
+    } else {
+      a.vfindexmacp_vx(v(2), v(1), x(4));
+      a.srli(x(4), x(4), 4);
+      a.vslide1down_vx(v(1), v(1), x(0));
+      a.vfindexmacp_vx(v(2), v(1), x(4));
+    }
+    a.ebreak();
+    return a;
+  };
+  std::array<std::uint32_t, 16> lanes_dual{}, lanes_two{};
+  for (const bool dual : {true, false}) {
+    Assembler a = build(dual);
+    SimRun r(a);
+    std::vector<float> row0(16), row1(16), values(16, 0.0f);
+    for (int i = 0; i < 16; ++i) {
+      row0[i] = 0.5f * static_cast<float>(i) + 0.125f;
+      row1[i] = -0.25f * static_cast<float>(i) + 1.0f;
+    }
+    values[0] = 3.5f;
+    values[1] = -1.25f;
+    r.mem.write_f32s(0x1000, row0);
+    r.mem.write_f32s(0x1040, row1);
+    r.mem.write_f32s(0x2000, values);
+    r.go();
+    for (unsigned i = 0; i < 16; ++i)
+      (dual ? lanes_dual : lanes_two)[i] = r.state().v[2][i];
+  }
+  EXPECT_EQ(lanes_dual, lanes_two);
+}
+
 TEST(Fsim, TextAssembledKernelMatchesBuilder) {
   const auto out = assemble_text(R"(
       li t0, 16

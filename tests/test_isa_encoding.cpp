@@ -110,6 +110,31 @@ TEST(IsaEncoding, CustomIndexmacUsesReservedOpivxSpace) {
   EXPECT_EQ((w >> 7) & 0x1f, 3u);           // vd
 }
 
+TEST(IsaEncoding, FollowUpVariantsUseReservedOpivxSpace) {
+  // The packed-index and dual-row variants extend the custom block:
+  // funct6 0b110010/0b110011 (vindexmacp/vfindexmacp) and
+  // 0b110100/0b110101 (vindexmac2/vfindexmac2), all OPIVX.
+  const struct {
+    Op op;
+    std::uint32_t funct6;
+  } cases[] = {
+      {Op::kVindexmacpVx, 0b110010u},
+      {Op::kVfindexmacpVx, 0b110011u},
+      {Op::kVindexmac2Vx, 0b110100u},
+      {Op::kVfindexmac2Vx, 0b110101u},
+  };
+  for (const auto& c : cases) {
+    const std::uint32_t w = encode(Instruction{c.op, 3, 9, 20, 0});
+    EXPECT_EQ(w & 0x7f, 0b1010111u) << mnemonic(c.op);   // OP-V
+    EXPECT_EQ((w >> 12) & 0x7, 0b100u) << mnemonic(c.op);  // OPIVX
+    EXPECT_EQ(w >> 26, c.funct6) << mnemonic(c.op);
+    EXPECT_EQ((w >> 25) & 1, 1u) << mnemonic(c.op);      // unmasked
+    EXPECT_EQ((w >> 20) & 0x1f, 20u) << mnemonic(c.op);  // vs2
+    EXPECT_EQ((w >> 15) & 0x1f, 9u) << mnemonic(c.op);   // rs1 (x register)
+    EXPECT_EQ((w >> 7) & 0x1f, 3u) << mnemonic(c.op);    // vd
+  }
+}
+
 TEST(IsaEncoding, ImmediateRangeChecksThrow) {
   EXPECT_THROW((void)encode(Instruction{Op::kAddi, 1, 1, 0, 2048}), SimError);
   EXPECT_THROW((void)encode(Instruction{Op::kAddi, 1, 1, 0, -2049}), SimError);
@@ -142,6 +167,10 @@ TEST(IsaEncoding, DecodeRejectsUnsupportedWidths) {
 TEST(IsaEncoding, DisassembleProducesExpectedText) {
   EXPECT_EQ(disassemble(Instruction{Op::kVindexmacVx, 2, 7, 4, 0}), "vindexmac.vx v2, v4, x7");
   EXPECT_EQ(disassemble(Instruction{Op::kVfindexmacVx, 2, 7, 4, 0}), "vfindexmac.vx v2, v4, x7");
+  EXPECT_EQ(disassemble(Instruction{Op::kVindexmacpVx, 2, 7, 4, 0}), "vindexmacp.vx v2, v4, x7");
+  EXPECT_EQ(disassemble(Instruction{Op::kVindexmac2Vx, 2, 7, 4, 0}), "vindexmac2.vx v2, v4, x7");
+  EXPECT_EQ(disassemble(Instruction{Op::kVfindexmac2Vx, 2, 7, 4, 0}),
+            "vfindexmac2.vx v2, v4, x7");
   EXPECT_EQ(disassemble(Instruction{Op::kLw, 5, 6, 0, 16}), "lw x5, 16(x6)");
   EXPECT_EQ(disassemble(Instruction{Op::kSw, 0, 6, 5, -4}), "sw x5, -4(x6)");
   EXPECT_EQ(disassemble(Instruction{Op::kVle32, 8, 11, 0, 0}), "vle32.v v8, (x11)");
@@ -205,7 +234,8 @@ INSTANTIATE_TEST_SUITE_P(
         Op::kVfaddVV, Op::kVmulVV, Op::kVfmulVV, Op::kVredsumVS, Op::kVfredusumVS, Op::kVmaccVx,
         Op::kVfmaccVf, Op::kVmvVX, Op::kVmvVI, Op::kVmvXS, Op::kVfmvFS, Op::kVmvSX,
         Op::kVslidedownVx, Op::kVslidedownVi, Op::kVslide1downVx, Op::kVindexmacVx,
-        Op::kVfindexmacVx),
+        Op::kVfindexmacVx, Op::kVindexmacpVx, Op::kVfindexmacpVx, Op::kVindexmac2Vx,
+        Op::kVfindexmac2Vx),
     [](const ::testing::TestParamInfo<Op>& info) {
       std::string name = mnemonic(info.param);
       for (char& c : name)

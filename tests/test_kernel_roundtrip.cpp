@@ -48,6 +48,29 @@ TEST(KernelRoundTrip, IndexmacAllUnrollsSparsitiesMarkers) {
       }
 }
 
+TEST(KernelRoundTrip, Algorithm4AllUnrollsSparsitiesMarkers) {
+  const GemmDims dims{16, 64, 40};  // full strips + ragged tail
+  for (const auto sp : {sparse::kSparsity14, sparse::kSparsity24})
+    for (const unsigned unroll : {1u, 2u, 4u})
+      for (const bool markers : {false, true}) {
+        KernelOptions options{.unroll = unroll, .emit_markers = markers};
+        const SpmmLayout layout = layout_for(dims, sp, 16);
+        expect_round_trip(emit_algorithm4(layout, options),
+                          "algorithm4 u" + std::to_string(unroll) + " " + std::to_string(sp.n) +
+                              ":" + std::to_string(sp.m) + (markers ? " markers" : ""));
+      }
+}
+
+TEST(KernelRoundTrip, Algorithm4IntegerLanesAndOddSlots) {
+  KernelOptions options{.unroll = 2, .elem = ElemType::kI32};
+  const SpmmLayout layout = layout_for({8, 32, 16}, sparse::kSparsity14, 16);
+  expect_round_trip(emit_algorithm4(layout, options), "algorithm4 i32");
+  // 3 slots per (row, k-tile): dual MAC plus trailing packed single.
+  KernelOptions odd{.unroll = 2};
+  const SpmmLayout odd_layout = layout_for({8, 32, 16}, sparse::Sparsity{3, 8}, 8);
+  expect_round_trip(emit_algorithm4(odd_layout, odd), "algorithm4 odd slots");
+}
+
 TEST(KernelRoundTrip, RowwiseAllDataflowsAndUnrolls) {
   const GemmDims dims{16, 64, 40};
   for (const auto df :

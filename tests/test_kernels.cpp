@@ -60,6 +60,70 @@ TEST(Kernels, IndexmacKNotMultipleOfTile) {
                                     .kernel = {.unroll = 2}});
 }
 
+TEST(Kernels, Algorithm4Smallest) {
+  const auto problem = SpmmProblem::random({1, 16, 16}, kSparsity14, 3);
+  expect_correct(problem, RunConfig{.algorithm = Algorithm::kIndexmac4,
+                                    .kernel = {.unroll = 1}});
+}
+
+TEST(Kernels, Algorithm4RowsNotMultipleOfUnroll) {
+  const auto problem = SpmmProblem::random({7, 32, 20}, kSparsity24, 5);
+  expect_correct(problem, RunConfig{.algorithm = Algorithm::kIndexmac4,
+                                    .kernel = {.unroll = 4}});
+}
+
+TEST(Kernels, Algorithm4OddSlotCountUsesPackedTail) {
+  // 3:8 with L=8 gives 3 slots per (row, k-tile): one dual-row MAC plus a
+  // trailing single packed MAC.
+  const auto problem = SpmmProblem::random({5, 48, 17}, Sparsity{3, 8}, 12);
+  expect_correct(problem, RunConfig{.algorithm = Algorithm::kIndexmac4,
+                                    .kernel = {.unroll = 2},
+                                    .tile_rows = 8});
+}
+
+TEST(Kernels, Algorithm4SingleSlotPerTile) {
+  // L=4 at 1:4 leaves one slot per (row, k-tile): no dual-row MAC at all.
+  const auto problem = SpmmProblem::random({3, 16, 16}, kSparsity14, 10);
+  expect_correct(problem, RunConfig{.algorithm = Algorithm::kIndexmac4,
+                                    .kernel = {.unroll = 1},
+                                    .tile_rows = 4});
+}
+
+TEST(Kernels, Algorithm4SmallerTile) {
+  // L=8: the tile sits in v24..v31; packed nibbles must land there.
+  const auto problem = SpmmProblem::random({6, 40, 24}, kSparsity24, 9);
+  expect_correct(problem, RunConfig{.algorithm = Algorithm::kIndexmac4,
+                                    .kernel = {.unroll = 4},
+                                    .tile_rows = 8});
+}
+
+TEST(Kernels, Algorithm4MarkersDoNotPerturbResults) {
+  const auto problem = SpmmProblem::random({5, 32, 18}, kSparsity24, 11);
+  expect_correct(problem, RunConfig{.algorithm = Algorithm::kIndexmac4,
+                                    .kernel = {.unroll = 4, .emit_markers = true}});
+}
+
+TEST(Kernels, Algorithm4IsBStationaryOnly) {
+  kernels::SpmmLayout layout;  // never used: the check fires first
+  EXPECT_THROW((void)kernels::emit_algorithm4(
+                   layout, kernels::KernelOptions{.dataflow = Dataflow::kCStationary}),
+               SimError);
+}
+
+TEST(Kernels, Algorithm4FootprintDropsIndexStripLoads) {
+  AddressAllocator alloc;
+  const auto layout = kernels::make_layout({8, 64, 32}, kSparsity14, 16, alloc);
+  const auto fp3 = kernels::predict_indexmac_footprint(layout);
+  const auto fp4 = kernels::predict_algorithm4_footprint(layout);
+  EXPECT_EQ(fp4.macs, fp3.macs);
+  EXPECT_EQ(fp4.vector_stores, fp3.vector_stores);
+  // Alg4 replaces the per-row index strip vle32 with one scalar ld.
+  const std::uint64_t strips = 2, ktiles = 4, rows = 8;
+  EXPECT_EQ(fp3.vector_loads - fp4.vector_loads, strips * ktiles * rows);
+  EXPECT_EQ(fp4.scalar_loads, strips * ktiles * rows);
+  EXPECT_EQ(fp3.scalar_loads, 0u);
+}
+
 TEST(Kernels, RowwiseSmallest) {
   const auto problem = SpmmProblem::random({1, 16, 16}, kSparsity14, 7);
   expect_correct(problem, RunConfig{.algorithm = Algorithm::kRowwiseSpmm,
@@ -158,6 +222,7 @@ std::vector<SweepCase> sweep_cases() {
   for (const Sparsity sp : {kSparsity14, kSparsity24})
     for (const unsigned unroll : {1u, 2u, 4u}) {
       cases.push_back({Algorithm::kIndexmac, Dataflow::kBStationary, unroll, sp});
+      cases.push_back({Algorithm::kIndexmac4, Dataflow::kBStationary, unroll, sp});
       for (const Dataflow df :
            {Dataflow::kAStationary, Dataflow::kBStationary, Dataflow::kCStationary})
         cases.push_back({Algorithm::kRowwiseSpmm, df, unroll, sp});
@@ -167,7 +232,9 @@ std::vector<SweepCase> sweep_cases() {
 
 std::string sweep_name(const ::testing::TestParamInfo<SweepCase>& info) {
   const SweepCase& c = info.param;
-  std::string name = c.algorithm == Algorithm::kIndexmac ? "indexmac" : "rowwise";
+  std::string name = c.algorithm == Algorithm::kIndexmac    ? "indexmac"
+                     : c.algorithm == Algorithm::kIndexmac4 ? "indexmac4"
+                                                            : "rowwise";
   name += c.dataflow == Dataflow::kAStationary   ? "_Astat"
           : c.dataflow == Dataflow::kBStationary ? "_Bstat"
                                                  : "_Cstat";
@@ -192,6 +259,7 @@ TEST_P(IndexmacShapes, MatchesReference) {
   expect_correct(problem, RunConfig{.algorithm = Algorithm::kIndexmac, .kernel = {.unroll = 4}});
   expect_correct(problem,
                  RunConfig{.algorithm = Algorithm::kRowwiseSpmm, .kernel = {.unroll = 4}});
+  expect_correct(problem, RunConfig{.algorithm = Algorithm::kIndexmac4, .kernel = {.unroll = 4}});
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -126,6 +126,31 @@ TEST(SweepExpansion, SkipsStructurallyUnsupportedCells) {
   EXPECT_EQ(report.rows.size(), 27u);
 }
 
+TEST(SweepExpansion, Algorithm4ExpandsBStationaryOnly) {
+  const SweepSpec spec = parse_sweep_spec(R"({
+    "name": "alg4-mixed",
+    "workloads": ["tiny"],
+    "sparsities": ["1:4"],
+    "algorithms": ["rowwise", "indexmac4"],
+    "dataflows": ["a", "b", "c"],
+    "unroll": [1, 4],
+    "mode": "exact"
+  })");
+  const auto points = expand_sweep(spec);
+  // Per workload: rowwise 3 dataflows x 2 unrolls + indexmac4 {b} x 2 = 8;
+  // times 3 tiny workloads.
+  ASSERT_EQ(points.size(), 24u);
+  std::size_t alg4 = 0;
+  for (const SweepPoint& p : points)
+    if (p.config.algorithm == Algorithm::kIndexmac4) {
+      ++alg4;
+      EXPECT_EQ(p.config.kernel.dataflow, kernels::Dataflow::kBStationary);
+    }
+  EXPECT_EQ(alg4, 6u);
+  const SweepReport report = run_sweep(spec, 2);
+  EXPECT_EQ(report.rows.size(), 24u);
+}
+
 TEST(SweepExpansion, PreExpandedOverloadMatchesImplicitExpansion) {
   const SweepSpec spec = parse_sweep_spec(kTinySpec);
   const auto points = expand_sweep(spec);

@@ -178,5 +178,26 @@ TEST(SweepGolden, HeadlineSpeedupHoldsInGoldenData) {
   EXPECT_EQ(pairs, 12u);  // 3 shapes x 2 sparsities x 2 unrolls
 }
 
+TEST(SweepGolden, Algorithm4BeatsAlgorithm3InGoldenData) {
+  // The follow-up paper's claim, also locked in: the packed-index/dual-row
+  // kernel spends fewer simulated cycles than Algorithm 3 in every
+  // (shape, sparsity, unroll) cell, at no extra memory accesses.
+  const SweepReport parsed = parse_csv_report(read_file(golden_path("tiny_sweep.csv")));
+  std::size_t pairs = 0;
+  for (const SweepRow& a : parsed.rows) {
+    if (a.point.config.algorithm != Algorithm::kIndexmac) continue;
+    for (const SweepRow& b : parsed.rows) {
+      if (b.point.config.algorithm != Algorithm::kIndexmac4) continue;
+      if (b.point.workload != a.point.workload || !(b.point.sp == a.point.sp) ||
+          b.point.config.kernel.unroll != a.point.config.kernel.unroll)
+        continue;
+      ++pairs;
+      EXPECT_GT(a.cycles, b.cycles) << a.point.workload;
+      EXPECT_GE(a.data_accesses, b.data_accesses) << a.point.workload;
+    }
+  }
+  EXPECT_EQ(pairs, 12u);  // 3 shapes x 2 sparsities x 2 unrolls
+}
+
 }  // namespace
 }  // namespace indexmac::core

@@ -411,10 +411,12 @@ int cmd_report(int argc, char** argv) {
   buf << file.rdbuf();
   const core::SweepReport report = core::parse_csv_report(buf.str());
 
-  // Pair rowwise/indexmac measurements of the same point into one line.
+  // Pair rowwise/indexmac/indexmac4 measurements of the same point into
+  // one line.
   struct Pair {
     const core::SweepRow* rowwise = nullptr;
     const core::SweepRow* proposed = nullptr;
+    const core::SweepRow* proposed4 = nullptr;
     const core::SweepRow* any = nullptr;
   };
   std::map<std::string, Pair> pairs;  // keyed by everything but the algorithm
@@ -434,12 +436,21 @@ int cmd_report(int argc, char** argv) {
     it->second.any = &row;
     if (p.config.algorithm == core::Algorithm::kRowwiseSpmm) it->second.rowwise = &row;
     if (p.config.algorithm == core::Algorithm::kIndexmac) it->second.proposed = &row;
+    if (p.config.algorithm == core::Algorithm::kIndexmac4) it->second.proposed4 = &row;
   }
+  bool any_v2 = false;
+  for (const std::string& key : order) any_v2 = any_v2 || pairs.at(key).proposed4 != nullptr;
 
   std::printf("sweep %s (%zu rows)\n\n", report.spec_name.c_str(), report.rows.size());
   TextTable table;
-  table.set_header({"suite", "workload", "GEMM (RxKxN)", "sparsity", "dataflow", "unroll",
-                    "cycles", "accesses", "speedup"});
+  std::vector<std::string> header = {"suite",  "workload", "GEMM (RxKxN)",
+                                     "sparsity", "dataflow", "unroll",
+                                     "cycles", "accesses", "speedup"};
+  if (any_v2) {
+    header.push_back("v2 cycles");
+    header.push_back("v2 speedup");
+  }
+  table.set_header(header);
   for (const std::string& key : order) {
     const Pair& pair = pairs.at(key);
     const core::SweepRow& base = *pair.any;
@@ -457,11 +468,23 @@ int cmd_report(int argc, char** argv) {
     const char* df = p.config.kernel.dataflow == kernels::Dataflow::kAStationary   ? "a"
                      : p.config.kernel.dataflow == kernels::Dataflow::kBStationary ? "b"
                                                                                    : "c";
-    table.add_row({p.suite, p.workload,
-                   std::to_string(p.dims.rows_a) + "x" + std::to_string(p.dims.k) + "x" +
-                       std::to_string(p.dims.cols_b),
-                   workloads::sparsity_label(p.sp), df, std::to_string(p.config.kernel.unroll),
-                   cycles, fmt_count(shown.data_accesses), speedup});
+    std::vector<std::string> cells = {
+        p.suite, p.workload,
+        std::to_string(p.dims.rows_a) + "x" + std::to_string(p.dims.k) + "x" +
+            std::to_string(p.dims.cols_b),
+        workloads::sparsity_label(p.sp), df, std::to_string(p.config.kernel.unroll),
+        cycles, fmt_count(shown.data_accesses), speedup};
+    if (any_v2) {
+      // v2 speedup is measured against the strongest available baseline:
+      // Algorithm 3 when present, else Algorithm 2.
+      const core::SweepRow* v2_base =
+          pair.proposed != nullptr ? pair.proposed : pair.rowwise;
+      cells.push_back(pair.proposed4 != nullptr ? fmt_fixed(pair.proposed4->cycles, 0) : "-");
+      cells.push_back(pair.proposed4 != nullptr && v2_base != nullptr
+                          ? fmt_speedup(v2_base->cycles / pair.proposed4->cycles)
+                          : "-");
+    }
+    table.add_row(cells);
   }
   std::printf("%s", table.to_string().c_str());
   return 0;
