@@ -179,6 +179,13 @@ void Assembler::vindexmac2_vx(VReg vd, VReg vs2, XReg rs1) {
 void Assembler::vfindexmac2_vx(VReg vd, VReg vs2, XReg rs1) {
   emit({Op::kVfindexmac2Vx, vd.num, rs1.num, vs2.num, 0});
 }
+void Assembler::ssrcfg(unsigned sid, XReg rs1, XReg rs2) {
+  IMAC_CHECK(sid < 4, "ssrcfg stream id must be in 0..3");
+  emit({Op::kSsrCfg, static_cast<std::uint8_t>(sid), rs1.num, rs2.num, 0});
+}
+void Assembler::ssren(XReg rs1) { emit({Op::kSsrEn, 0, rs1.num, 0, 0}); }
+void Assembler::vindexmacs_v(VReg vd) { emit({Op::kVindexmacsV, vd.num, 0, 0, 0}); }
+void Assembler::vfindexmacs_v(VReg vd) { emit({Op::kVfindexmacsV, vd.num, 0, 0, 0}); }
 
 void Assembler::li(XReg rd, std::int64_t value) {
   IMAC_CHECK(fits_signed(value, 32), "li supports 32-bit signed constants only");

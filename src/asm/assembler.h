@@ -135,6 +135,15 @@ class Assembler {
   /// vd[i] += vs2[1] * VRF[16 | ((x[rs1] >> 4) & 0xf)][i].
   void vindexmac2_vx(VReg vd, VReg vs2, XReg rs1);
   void vfindexmac2_vx(VReg vd, VReg vs2, XReg rs1);
+  /// SSR stream config: stream `sid` (0..3) reads from base x[rs1] and
+  /// wraps after x[rs2] 32-bit words; resets the stream position.
+  void ssrcfg(unsigned sid, XReg rs1, XReg rs2);
+  /// Enables the streams in the low 4 bits of x[rs1] (rewinding each to its
+  /// base) and disables the rest; `ssren(x(0))` disables all streams.
+  void ssren(XReg rs1);
+  /// Streaming MAC: vd[i] += stream0.pop() * VRF[stream1.pop() & 0x1f][i].
+  void vindexmacs_v(VReg vd);
+  void vfindexmacs_v(VReg vd);
 
   // --- pseudo-instructions ---
   /// Loads any 32-bit signed constant (addi, or lui+addi pair).

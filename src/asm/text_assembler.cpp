@@ -324,6 +324,10 @@ class Parser {
     if (m == "vfindexmacp.vx") { expect(3, o.size()); asm_.vfindexmacp_vx(vop(o[0]), vop(o[1]), xop(o[2])); return; }
     if (m == "vindexmac2.vx") { expect(3, o.size()); asm_.vindexmac2_vx(vop(o[0]), vop(o[1]), xop(o[2])); return; }
     if (m == "vfindexmac2.vx") { expect(3, o.size()); asm_.vfindexmac2_vx(vop(o[0]), vop(o[1]), xop(o[2])); return; }
+    if (m == "ssrcfg") { expect(3, o.size()); asm_.ssrcfg(static_cast<unsigned>(iop(o[0])), xop(o[1]), xop(o[2])); return; }
+    if (m == "ssren") { expect(1, o.size()); asm_.ssren(xop(o[0])); return; }
+    if (m == "vindexmacs.v") { expect(1, o.size()); asm_.vindexmacs_v(vop(o[0])); return; }
+    if (m == "vfindexmacs.v") { expect(1, o.size()); asm_.vfindexmacs_v(vop(o[0])); return; }
     fail("unknown mnemonic '" + m + "'");
   }
 

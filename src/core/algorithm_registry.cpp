@@ -1,0 +1,74 @@
+#include "core/algorithm_registry.h"
+
+#include "common/error.h"
+#include "core/algorithms/descriptors.h"
+
+namespace indexmac::core {
+
+const char* pairing_role_name(PairingRole role) {
+  switch (role) {
+    case PairingRole::kBaseline: return "baseline";
+    case PairingRole::kProposed: return "proposed";
+    case PairingRole::kProposedV2: return "proposed-v2";
+    case PairingRole::kStandalone: return "standalone";
+  }
+  raise("unknown pairing role");
+}
+
+const AlgorithmRegistry& AlgorithmRegistry::instance() {
+  // Explicit registration order — also the presentation order everywhere
+  // (known-id error messages, `list-algorithms`, the README table).
+  static const AlgorithmRegistry registry = [] {
+    AlgorithmRegistry r;
+    r.add(algorithms::rowwise_descriptor());
+    r.add(algorithms::indexmac_descriptor());
+    r.add(algorithms::indexmac4_descriptor());
+    r.add(algorithms::dense_descriptor());
+    r.add(algorithms::ssr_descriptor());
+    return r;
+  }();
+  return registry;
+}
+
+void AlgorithmRegistry::add(AlgorithmDescriptor desc) {
+  IMAC_CHECK(!desc.id.empty(), "algorithm descriptor needs an id");
+  IMAC_CHECK(desc.supports != nullptr,
+             "algorithm \"" + desc.id + "\" needs a supports predicate");
+  IMAC_CHECK(desc.emit != nullptr, "algorithm \"" + desc.id + "\" needs an emitter");
+  for (const AlgorithmDescriptor& e : entries_) {
+    IMAC_CHECK(e.id != desc.id, "duplicate algorithm id \"" + desc.id + "\"");
+    IMAC_CHECK(e.algorithm != desc.algorithm,
+               "algorithms \"" + e.id + "\" and \"" + desc.id +
+                   "\" register the same Algorithm value");
+  }
+  entries_.push_back(std::move(desc));
+}
+
+const AlgorithmDescriptor* AlgorithmRegistry::find(const std::string& id) const {
+  for (const AlgorithmDescriptor& e : entries_)
+    if (e.id == id) return &e;
+  return nullptr;
+}
+
+const AlgorithmDescriptor& AlgorithmRegistry::by_id(const std::string& id) const {
+  const AlgorithmDescriptor* d = find(id);
+  if (d == nullptr) raise("unknown algorithm \"" + id + "\" (known: " + known_ids() + ")");
+  return *d;
+}
+
+const AlgorithmDescriptor& AlgorithmRegistry::by_algorithm(Algorithm a) const {
+  for (const AlgorithmDescriptor& e : entries_)
+    if (e.algorithm == a) return e;
+  raise("unknown algorithm");
+}
+
+std::string AlgorithmRegistry::known_ids() const {
+  std::string out;
+  for (const AlgorithmDescriptor& e : entries_) {
+    if (!out.empty()) out += ", ";
+    out += e.id;
+  }
+  return out;
+}
+
+}  // namespace indexmac::core

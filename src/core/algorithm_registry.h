@@ -1,0 +1,97 @@
+// AlgorithmRegistry: one descriptor per kernel family, replacing the
+// hard-wired Algorithm switches that used to be scattered over sweep
+// parsing, operand placement, kernel selection, the analytic footprint
+// model and report pairing. Adding a family means writing one descriptor
+// TU under core/algorithms/ and registering it in
+// AlgorithmRegistry::instance() — every consumer (sweep ids, skip rules,
+// prepare(), run_sampled, imac_run) picks it up from here.
+//
+// The registry is built lazily in an explicit, fixed order (no
+// static-initialization registration: self-registering TUs are silently
+// dead-stripped out of static libraries, and their order is unspecified),
+// so iteration order, error messages and `list-algorithms` output are
+// deterministic.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/spmm_problem.h"
+
+namespace indexmac::core {
+
+/// Role a family plays when `imac_run report` pairs measurements of the
+/// same grid point into speedup columns.
+enum class PairingRole {
+  kBaseline,    ///< speedup denominator (Algorithm 2)
+  kProposed,    ///< the paper's proposal, sped up vs the baseline (Algorithm 3)
+  kProposedV2,  ///< follow-up proposal: the report's v2 columns (Algorithm 4)
+  kStandalone,  ///< own report line; never folded into a speedup pair
+};
+
+[[nodiscard]] const char* pairing_role_name(PairingRole role);
+
+/// Everything the stack needs to know about one kernel family.
+struct AlgorithmDescriptor {
+  Algorithm algorithm{};     ///< enum value the descriptor serves
+  std::string id;            ///< stable CLI/CSV/cache-key identifier ("indexmac")
+  std::string display_name;  ///< human-readable name (algorithm_name())
+  std::string description;   ///< one-line summary for `list-algorithms`
+  PairingRole pairing = PairingRole::kStandalone;
+  bool supports_sampled = true;  ///< accepted by run_sampled / sampled sweeps
+  bool dense_operands = false;   ///< A is placed dense; no sparse packing
+  sparse::IndexMode index_mode = sparse::IndexMode::kByteOffset;
+
+  /// Grid cells the family supports; sweep expansion skips (not errors on)
+  /// the rest, so mixed ablations stay expressible.
+  std::function<bool(kernels::Dataflow, unsigned unroll)> supports;
+
+  /// Inputs to the program emitter. The dense_* fields are only meaningful
+  /// for families with dense_operands set.
+  struct EmitContext {
+    const kernels::SpmmLayout& layout;
+    const kernels::KernelOptions& options;
+    std::uint64_t dense_a_base = 0;
+    std::size_t dense_a_pitch_elems = 0;
+  };
+  std::function<Program(const EmitContext&)> emit;
+
+  /// Analytic footprint predictor for sampled runs (null: the family has
+  /// no analytic memory model and must be measured exactly).
+  std::function<kernels::KernelFootprint(const kernels::SpmmLayout&)> footprint;
+};
+
+/// Ordered collection of AlgorithmDescriptors. Standalone-constructible so
+/// tests can exercise registration rules without touching the process-wide
+/// instance.
+class AlgorithmRegistry {
+ public:
+  AlgorithmRegistry() = default;
+
+  /// The process-wide registry with the built-in families, constructed on
+  /// first use in registration order: rowwise, indexmac, indexmac4, dense,
+  /// ssr (the order all(), known_ids() and error messages present).
+  [[nodiscard]] static const AlgorithmRegistry& instance();
+
+  /// Registers a descriptor. SimError on a duplicate id or enum value, or
+  /// on a descriptor missing its id, supports predicate or emitter.
+  void add(AlgorithmDescriptor desc);
+
+  /// Descriptor by CLI id, or nullptr if unknown.
+  [[nodiscard]] const AlgorithmDescriptor* find(const std::string& id) const;
+  /// Descriptor by CLI id; SimError naming every known id if unknown.
+  [[nodiscard]] const AlgorithmDescriptor& by_id(const std::string& id) const;
+  /// Descriptor by enum value; SimError if no family registered it.
+  [[nodiscard]] const AlgorithmDescriptor& by_algorithm(Algorithm a) const;
+
+  /// All descriptors, in registration order.
+  [[nodiscard]] const std::vector<AlgorithmDescriptor>& all() const { return entries_; }
+  /// Comma-separated ids in registration order ("rowwise, indexmac, ...").
+  [[nodiscard]] std::string known_ids() const;
+
+ private:
+  std::vector<AlgorithmDescriptor> entries_;
+};
+
+}  // namespace indexmac::core

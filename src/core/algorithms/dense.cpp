@@ -1,0 +1,28 @@
+// Algorithm 1 (dense row-wise): the dense baseline. Ignores sparsity — A
+// is placed dense, so it has no sparse packing, no analytic footprint
+// model and exists only at unroll 1, B-stationary.
+#include "core/algorithms/descriptors.h"
+#include "kernels/kernels.h"
+
+namespace indexmac::core::algorithms {
+
+AlgorithmDescriptor dense_descriptor() {
+  AlgorithmDescriptor d;
+  d.algorithm = Algorithm::kDenseRowwise;
+  d.id = "dense";
+  d.display_name = "Dense row-wise";
+  d.description = "Algorithm 1: dense row-wise baseline (ignores sparsity)";
+  d.pairing = PairingRole::kStandalone;
+  d.supports_sampled = false;
+  d.dense_operands = true;
+  d.supports = [](kernels::Dataflow df, unsigned unroll) {
+    return df == kernels::Dataflow::kBStationary && unroll == 1;
+  };
+  d.emit = [](const AlgorithmDescriptor::EmitContext& ctx) {
+    return kernels::emit_dense_rowwise_kernel(ctx.layout, ctx.dense_a_base,
+                                              ctx.dense_a_pitch_elems, ctx.options);
+  };
+  return d;
+}
+
+}  // namespace indexmac::core::algorithms

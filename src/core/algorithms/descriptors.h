@@ -1,0 +1,16 @@
+// Factory declarations for the built-in kernel-family descriptors, one TU
+// per family under core/algorithms/. AlgorithmRegistry::instance() calls
+// these in its fixed registration order; nothing else should.
+#pragma once
+
+#include "core/algorithm_registry.h"
+
+namespace indexmac::core::algorithms {
+
+[[nodiscard]] AlgorithmDescriptor rowwise_descriptor();    ///< Algorithm 2
+[[nodiscard]] AlgorithmDescriptor indexmac_descriptor();   ///< Algorithm 3
+[[nodiscard]] AlgorithmDescriptor indexmac4_descriptor();  ///< Algorithm 4
+[[nodiscard]] AlgorithmDescriptor dense_descriptor();      ///< Algorithm 1
+[[nodiscard]] AlgorithmDescriptor ssr_descriptor();        ///< Algorithm 5
+
+}  // namespace indexmac::core::algorithms

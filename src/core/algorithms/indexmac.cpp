@@ -1,0 +1,27 @@
+// Algorithm 3 ("Proposed"): preloaded B tiles + the custom vindexmac
+// instruction's indirect VRF read. B-stationary by construction.
+#include "core/algorithms/descriptors.h"
+#include "kernels/kernels.h"
+
+namespace indexmac::core::algorithms {
+
+AlgorithmDescriptor indexmac_descriptor() {
+  AlgorithmDescriptor d;
+  d.algorithm = Algorithm::kIndexmac;
+  d.id = "indexmac";
+  d.display_name = "Proposed (vindexmac)";
+  d.description = "Algorithm 3: preloaded B tile + indirect-VRF vindexmac MACs";
+  d.pairing = PairingRole::kProposed;
+  d.supports_sampled = true;
+  d.index_mode = sparse::IndexMode::kVrfIndex;
+  d.supports = [](kernels::Dataflow df, unsigned) {
+    return df == kernels::Dataflow::kBStationary;
+  };
+  d.emit = [](const AlgorithmDescriptor::EmitContext& ctx) {
+    return kernels::emit_indexmac_kernel(ctx.layout, ctx.options);
+  };
+  d.footprint = kernels::predict_indexmac_footprint;
+  return d;
+}
+
+}  // namespace indexmac::core::algorithms

@@ -1,0 +1,27 @@
+// Algorithm 4 (follow-up paper, arXiv:2501.10189): packed 64-bit nibble
+// index words + dual-row vindexmac2 MACs. B-stationary by construction.
+#include "core/algorithms/descriptors.h"
+#include "kernels/kernels.h"
+
+namespace indexmac::core::algorithms {
+
+AlgorithmDescriptor indexmac4_descriptor() {
+  AlgorithmDescriptor d;
+  d.algorithm = Algorithm::kIndexmac4;
+  d.id = "indexmac4";
+  d.display_name = "Proposed-v2 (packed/dual vindexmac)";
+  d.description = "Algorithm 4: packed nibble indices + dual-row vindexmac2 MACs";
+  d.pairing = PairingRole::kProposedV2;
+  d.supports_sampled = true;
+  d.index_mode = sparse::IndexMode::kPackedNibble;
+  d.supports = [](kernels::Dataflow df, unsigned) {
+    return df == kernels::Dataflow::kBStationary;
+  };
+  d.emit = [](const AlgorithmDescriptor::EmitContext& ctx) {
+    return kernels::emit_algorithm4(ctx.layout, ctx.options);
+  };
+  d.footprint = kernels::predict_algorithm4_footprint;
+  return d;
+}
+
+}  // namespace indexmac::core::algorithms

@@ -1,0 +1,25 @@
+// Algorithm 2 ("Row-Wise-SpMM"): the paper's vectorized software baseline.
+// The only family with a free dataflow axis (A-, B- or C-stationary).
+#include "core/algorithms/descriptors.h"
+#include "kernels/kernels.h"
+
+namespace indexmac::core::algorithms {
+
+AlgorithmDescriptor rowwise_descriptor() {
+  AlgorithmDescriptor d;
+  d.algorithm = Algorithm::kRowwiseSpmm;
+  d.id = "rowwise";
+  d.display_name = "Row-Wise-SpMM";
+  d.description = "Algorithm 2: per non-zero, load the B row (vle32) and vfmacc";
+  d.pairing = PairingRole::kBaseline;
+  d.supports_sampled = true;
+  d.index_mode = sparse::IndexMode::kByteOffset;
+  d.supports = [](kernels::Dataflow, unsigned) { return true; };
+  d.emit = [](const AlgorithmDescriptor::EmitContext& ctx) {
+    return kernels::emit_rowwise_spmm_kernel(ctx.layout, ctx.options);
+  };
+  d.footprint = kernels::predict_rowwise_footprint;
+  return d;
+}
+
+}  // namespace indexmac::core::algorithms

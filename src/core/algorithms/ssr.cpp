@@ -1,0 +1,33 @@
+// Algorithm 5 (SSR streaming baseline, after arXiv:2305.05559 /
+// arXiv:2011.08070): the A value/index streams bypass the vector register
+// file through two SSR address generators, and vindexmacs.v pops both
+// operands per MAC. Packs A like Algorithm 3 (VRF indices into the
+// preloaded B tile), so accumulation order — and therefore every result
+// bit — matches Algorithm 3. B-stationary and unroll=1 only: the streams
+// deliver A in strict [ktile][row][slot] order, which an interleaved row
+// group would consume out of order.
+#include "core/algorithms/descriptors.h"
+#include "kernels/kernels.h"
+
+namespace indexmac::core::algorithms {
+
+AlgorithmDescriptor ssr_descriptor() {
+  AlgorithmDescriptor d;
+  d.algorithm = Algorithm::kSsr;
+  d.id = "ssr";
+  d.display_name = "SSR streaming (vindexmacs)";
+  d.description = "Algorithm 5: SSR-streamed A operands + vindexmacs MACs";
+  d.pairing = PairingRole::kStandalone;
+  d.supports_sampled = true;
+  d.index_mode = sparse::IndexMode::kVrfIndex;
+  d.supports = [](kernels::Dataflow df, unsigned unroll) {
+    return df == kernels::Dataflow::kBStationary && unroll == 1;
+  };
+  d.emit = [](const AlgorithmDescriptor::EmitContext& ctx) {
+    return kernels::emit_algorithm_ssr(ctx.layout, ctx.options);
+  };
+  d.footprint = kernels::predict_ssr_footprint;
+  return d;
+}
+
+}  // namespace indexmac::core::algorithms

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "core/algorithm_registry.h"
 #include "kernels/kernels.h"
 
 namespace indexmac::core {
@@ -114,12 +115,10 @@ std::uint64_t analytic_accesses(const kernels::GemmDims& dims, sparse::Sparsity 
                                 const RunConfig& config) {
   AddressAllocator alloc;
   const kernels::SpmmLayout layout = kernels::make_layout(dims, sp, config.tile_rows, alloc);
-  kernels::KernelFootprint fp;
-  switch (config.algorithm) {
-    case Algorithm::kIndexmac: fp = kernels::predict_indexmac_footprint(layout); break;
-    case Algorithm::kIndexmac4: fp = kernels::predict_algorithm4_footprint(layout); break;
-    default: fp = kernels::predict_rowwise_footprint(layout); break;
-  }
+  const AlgorithmDescriptor& desc = AlgorithmRegistry::instance().by_algorithm(config.algorithm);
+  IMAC_CHECK(desc.footprint != nullptr,
+             "algorithm \"" + desc.id + "\" has no analytic footprint model");
+  const kernels::KernelFootprint fp = desc.footprint(layout);
   // Scalar index-word loads (Algorithm 4) are memory accesses too: the
   // exact runs count them in MemStats, so the analytic total must match.
   return fp.vector_loads + fp.vector_stores + fp.scalar_loads;
@@ -132,7 +131,7 @@ SampledResult run_sampled(const kernels::GemmDims& dims, sparse::Sparsity sp,
                           const SampleParams& params) {
   IMAC_CHECK(config.kernel.dataflow == kernels::Dataflow::kBStationary,
              "run_sampled supports B-stationary kernels only");
-  IMAC_CHECK(config.algorithm != Algorithm::kDenseRowwise,
+  IMAC_CHECK(AlgorithmRegistry::instance().by_algorithm(config.algorithm).supports_sampled,
              "run_sampled supports the sparse kernels only");
 
   const unsigned unroll = config.kernel.unroll;

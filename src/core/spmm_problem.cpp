@@ -1,17 +1,14 @@
 #include "core/spmm_problem.h"
 
 #include "common/error.h"
+#include "core/algorithm_registry.h"
 
 namespace indexmac::core {
 
 const char* algorithm_name(Algorithm a) {
-  switch (a) {
-    case Algorithm::kIndexmac: return "Proposed (vindexmac)";
-    case Algorithm::kRowwiseSpmm: return "Row-Wise-SpMM";
-    case Algorithm::kDenseRowwise: return "Dense row-wise";
-    case Algorithm::kIndexmac4: return "Proposed-v2 (packed/dual vindexmac)";
-  }
-  raise("unknown algorithm");
+  // Registry entries live for the process lifetime, so the pointer stays
+  // valid like the string literals it replaced.
+  return AlgorithmRegistry::instance().by_algorithm(a).display_name.c_str();
 }
 
 SpmmProblem SpmmProblem::random(const kernels::GemmDims& dims, sparse::Sparsity sp,
@@ -47,9 +44,10 @@ PreparedRun prepare(const SpmmProblem& problem, const RunConfig& config, MainMem
   AddressAllocator alloc;
   kernels::SpmmLayout layout =
       kernels::make_layout(problem.dims, problem.sp, config.tile_rows, alloc);
+  const AlgorithmDescriptor& desc = AlgorithmRegistry::instance().by_algorithm(config.algorithm);
 
-  if (config.algorithm == Algorithm::kDenseRowwise) {
-    // Dense baseline: store A densely (row pitch = multiple of 16 elements).
+  if (desc.dense_operands) {
+    // Dense family: store A densely (row pitch = multiple of 16 elements).
     const std::size_t a_pitch = round_up(problem.dims.k, isa::kVlMax);
     const std::uint64_t a_base = alloc.alloc(problem.dims.rows_a * a_pitch * 4);
     const auto a_image =
@@ -57,15 +55,15 @@ PreparedRun prepare(const SpmmProblem& problem, const RunConfig& config, MainMem
     mem.write_f32s(a_base, a_image);
     place_b_and_c(problem, layout, mem);
     return PreparedRun{config, layout,
-                       kernels::emit_dense_rowwise_kernel(layout, a_base, a_pitch, config.kernel)};
+                       desc.emit({.layout = layout,
+                                  .options = config.kernel,
+                                  .dense_a_base = a_base,
+                                  .dense_a_pitch_elems = a_pitch})};
   }
 
-  sparse::IndexMode mode = sparse::IndexMode::kByteOffset;
-  if (config.algorithm == Algorithm::kIndexmac) mode = sparse::IndexMode::kVrfIndex;
-  if (config.algorithm == Algorithm::kIndexmac4) mode = sparse::IndexMode::kPackedNibble;
   sparse::PackConfig pack_config{
       .tile_rows = config.tile_rows,
-      .mode = mode,
+      .mode = desc.index_mode,
       .b_pitch_bytes = static_cast<std::uint32_t>(layout.b_pitch_elems * 4),
       .base_vreg = kernels::b_tile_base_vreg(config.tile_rows),
   };
@@ -77,11 +75,7 @@ PreparedRun prepare(const SpmmProblem& problem, const RunConfig& config, MainMem
   mem.write_i32s(layout.a_indices, packed.indices);
   place_b_and_c(problem, layout, mem);
 
-  Program program = config.algorithm == Algorithm::kIndexmac
-                        ? kernels::emit_indexmac_kernel(layout, config.kernel)
-                    : config.algorithm == Algorithm::kIndexmac4
-                        ? kernels::emit_algorithm4(layout, config.kernel)
-                        : kernels::emit_rowwise_spmm_kernel(layout, config.kernel);
+  Program program = desc.emit({.layout = layout, .options = config.kernel});
   return PreparedRun{config, layout, std::move(program)};
 }
 

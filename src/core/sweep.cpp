@@ -8,6 +8,7 @@
 #include "common/error.h"
 #include "common/format.h"
 #include "common/json.h"
+#include "core/algorithm_registry.h"
 
 namespace indexmac::core {
 namespace {
@@ -18,21 +19,12 @@ using workloads::sparsity_label;
 // --- short, CSV-stable identifiers ---------------------------------------
 
 const char* algorithm_id(Algorithm a) {
-  switch (a) {
-    case Algorithm::kIndexmac: return "indexmac";
-    case Algorithm::kRowwiseSpmm: return "rowwise";
-    case Algorithm::kDenseRowwise: return "dense";
-    case Algorithm::kIndexmac4: return "indexmac4";
-  }
-  raise("unknown algorithm");
+  return AlgorithmRegistry::instance().by_algorithm(a).id.c_str();
 }
 
+/// Raises with every registered id on an unknown one.
 Algorithm parse_algorithm(const std::string& id) {
-  if (id == "indexmac") return Algorithm::kIndexmac;
-  if (id == "rowwise") return Algorithm::kRowwiseSpmm;
-  if (id == "dense") return Algorithm::kDenseRowwise;
-  if (id == "indexmac4") return Algorithm::kIndexmac4;
-  raise("unknown algorithm \"" + id + "\" (known: rowwise, indexmac, indexmac4, dense)");
+  return AlgorithmRegistry::instance().by_id(id).algorithm;
 }
 
 const char* dataflow_id(kernels::Dataflow d) {
@@ -190,10 +182,12 @@ SweepSpec parse_sweep_spec(const std::string& json_text) {
                    std::to_string(t));
   if (const JsonValue* v = doc.get("mode")) spec.mode = parse_mode(v->as_string());
   if (spec.mode == SweepMode::kSampled)
-    for (const Algorithm alg : spec.algorithms)
-      IMAC_CHECK(alg != Algorithm::kDenseRowwise,
-                 "sweep spec: sampled mode supports the sparse kernels only (drop \"dense\" "
-                 "or use mode \"exact\")");
+    for (const Algorithm alg : spec.algorithms) {
+      const AlgorithmDescriptor& d = AlgorithmRegistry::instance().by_algorithm(alg);
+      IMAC_CHECK(d.supports_sampled,
+                 "sweep spec: sampled mode supports the sparse kernels only (drop \"" + d.id +
+                     "\" or use mode \"exact\")");
+    }
   if (const JsonValue* v = doc.get("seed")) spec.seed = static_cast<std::uint32_t>(v->as_uint());
   if (const JsonValue* v = doc.get("sample_rows"))
     spec.sample.sample_rows = static_cast<unsigned>(v->as_uint());
@@ -248,16 +242,11 @@ std::vector<SweepPoint> expand_sweep(const SweepSpec& spec) {
             for (const unsigned unroll : spec.unrolls)
               for (const unsigned tile : spec.tile_rows) {
                 // Structurally-unsupported grid cells are skipped, not
-                // errors: Algorithms 3 and 4 are B-stationary by
-                // construction (the dataflow axis varies Algorithm 2), and
-                // the dense baseline only exists at unroll 1. This keeps
-                // mixed ablations (e.g. dataflows x both algorithms)
-                // expressible without aborting the sweep mid-run.
-                if ((alg == Algorithm::kIndexmac || alg == Algorithm::kIndexmac4) &&
-                    df != kernels::Dataflow::kBStationary)
-                  continue;
-                if (alg == Algorithm::kDenseRowwise &&
-                    (unroll != 1 || df != kernels::Dataflow::kBStationary))
+                // errors — each family's supports predicate declares its
+                // own constraints (B-stationary-only, unroll=1-only, ...).
+                // This keeps mixed ablations (e.g. dataflows x several
+                // algorithms) expressible without aborting the sweep.
+                if (!AlgorithmRegistry::instance().by_algorithm(alg).supports(df, unroll))
                   continue;
                 SweepPoint p;
                 p.suite = s.name;

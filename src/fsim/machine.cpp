@@ -86,6 +86,17 @@ StopReason Machine::run(std::uint64_t max_steps) {
   return StopReason::kMaxSteps;
 }
 
+std::uint32_t Machine::ssr_pop(unsigned sid) {
+  SsrStream& s = ssr_[sid];
+  if (!s.enabled || s.count == 0)
+    raise("vindexmacs.v with stream " + std::to_string(sid) +
+          (s.enabled ? " configured empty" : " disabled") + " at " +
+          describe_pc(program_, state_.pc));
+  const std::uint32_t word = memory_.read_u32(s.base + 4ull * s.pos);
+  if (++s.pos == s.count) s.pos = 0;
+  return word;
+}
+
 void Machine::exec(const Instruction& in, std::uint64_t next_pc) {
   auto& x = state_.x;
   const auto sx = [&x](unsigned r) { return static_cast<std::int64_t>(x[r]); };
@@ -347,6 +358,39 @@ void Machine::exec(const Instruction& in, std::uint64_t next_pc) {
         state_.set_velem_f32(in.rd, i,
                              state_.velem_f32(in.rd, i) + s1 * state_.velem_f32(src1, i));
       }
+      break;
+    }
+    case Op::kSsrCfg: {
+      SsrStream& s = ssr_[in.rd];
+      s.base = x[in.rs1];
+      s.count = static_cast<std::uint32_t>(x[in.rs2]);
+      s.pos = 0;
+      break;
+    }
+    case Op::kSsrEn:
+      // Bit s of x[rs1] enables stream s; enabling rewinds to the base so a
+      // re-enable replays the window from the start.
+      for (unsigned s = 0; s < 4; ++s) {
+        ssr_[s].enabled = ((x[in.rs1] >> s) & 1) != 0;
+        if (ssr_[s].enabled) ssr_[s].pos = 0;
+      }
+      break;
+    case Op::kVindexmacsV: {
+      // Streaming MAC: the A value and the VRF row index arrive from the
+      // address-generation state machines instead of explicit loads. Both
+      // streams advance even at vl==0 (operand fetch precedes lane work).
+      const std::uint32_t scale = ssr_pop(0);
+      const unsigned src_reg = ssr_pop(1) & 0x1f;
+      for (unsigned i = 0; i < state_.vl; ++i)
+        state_.v[in.rd][i] += scale * state_.v[src_reg][i];
+      break;
+    }
+    case Op::kVfindexmacsV: {
+      const float scale = bits_to_f32(ssr_pop(0));
+      const unsigned src_reg = ssr_pop(1) & 0x1f;
+      for (unsigned i = 0; i < state_.vl; ++i)
+        state_.set_velem_f32(in.rd, i,
+                             state_.velem_f32(in.rd, i) + scale * state_.velem_f32(src_reg, i));
       break;
     }
     case Op::kIllegal:

@@ -30,6 +30,17 @@ struct ArchState {
   void set_velem_f32(unsigned reg, unsigned lane, float value);
 };
 
+/// One SSR address-generation state machine (Algorithm 5): a configured
+/// base/length window over memory that the streaming MAC pops 32-bit words
+/// from, wrapping at `count`. Architectural state — the timing model's
+/// trace reads it to resolve stream operands pre-execution.
+struct SsrStream {
+  std::uint64_t base = 0;  ///< first word address
+  std::uint32_t count = 0; ///< words before wrap
+  std::uint32_t pos = 0;   ///< next word index (< count when enabled)
+  bool enabled = false;
+};
+
 /// Why a run loop stopped.
 enum class StopReason { kRunning, kEbreak, kEcall, kMaxSteps };
 
@@ -56,12 +67,20 @@ class Machine {
   [[nodiscard]] ArchState& state() { return state_; }
   [[nodiscard]] const Program& program() const { return program_; }
   [[nodiscard]] std::uint64_t instructions_retired() const { return retired_; }
+  /// The four SSR address-generation state machines (index 0..3).
+  [[nodiscard]] const std::array<SsrStream, 4>& ssr() const { return ssr_; }
+  /// The backing memory — the trace needs a pre-execution peek at the word
+  /// the index stream will deliver.
+  [[nodiscard]] const MainMemory& memory() const { return memory_; }
 
   /// Called when a marker instruction retires (id passed through).
   void set_marker_hook(std::function<void(int)> hook) { marker_hook_ = std::move(hook); }
 
  private:
   void exec(const isa::Instruction& inst, std::uint64_t next_pc);
+  /// Pops the next 32-bit word from stream `sid`, advancing and wrapping at
+  /// the configured length. SimError if the stream is disabled or empty.
+  std::uint32_t ssr_pop(unsigned sid);
 
   const Program& program_;
   MainMemory& memory_;
@@ -73,6 +92,7 @@ class Machine {
   std::uint64_t base_ = 0;
   std::uint64_t code_bytes_ = 0;
   ArchState state_;
+  std::array<SsrStream, 4> ssr_{};
   std::uint64_t retired_ = 0;
   std::function<void(int)> marker_hook_;
   StopReason pending_stop_ = StopReason::kRunning;

@@ -50,6 +50,13 @@ constexpr std::uint32_t kF6Vindexmacp = 0b110010;   // packed-index variant
 constexpr std::uint32_t kF6Vfindexmacp = 0b110011;  // packed-index variant (fp32)
 constexpr std::uint32_t kF6Vindexmac2 = 0b110100;   // dual-row variant
 constexpr std::uint32_t kF6Vfindexmac2 = 0b110101;  // dual-row variant (fp32)
+constexpr std::uint32_t kF6Vindexmacs = 0b110110;   // SSR streaming MAC
+constexpr std::uint32_t kF6Vfindexmacs = 0b110111;  // SSR streaming MAC (fp32)
+
+// custom-0 funct3 minor opcodes: f3=0 is the marker; the SSR control ops
+// share the major opcode under their own funct3 values.
+constexpr std::uint32_t kF3SsrCfg = 0b001;
+constexpr std::uint32_t kF3SsrEn = 0b010;
 
 std::uint32_t reg5(std::uint32_t r) {
   IMAC_ASSERT(r < 32, "register number out of range");
@@ -211,6 +218,13 @@ std::uint32_t encode(const Instruction& in) {
     case Op::kVfindexmacpVx: return op_v(kF6Vfindexmacp, in.rs2, in.rs1, kOpivx, in.rd);
     case Op::kVindexmac2Vx: return op_v(kF6Vindexmac2, in.rs2, in.rs1, kOpivx, in.rd);
     case Op::kVfindexmac2Vx: return op_v(kF6Vfindexmac2, in.rs2, in.rs1, kOpivx, in.rd);
+    case Op::kSsrCfg:
+      // R-type in the custom-0 space; the rd field names the stream.
+      IMAC_CHECK(in.rd < 4, "ssrcfg stream id must be in 0..3");
+      return r_type(0, in.rs2, in.rs1, kF3SsrCfg, in.rd, kOpCustom0);
+    case Op::kSsrEn: return r_type(0, 0, in.rs1, kF3SsrEn, 0, kOpCustom0);
+    case Op::kVindexmacsV: return op_v(kF6Vindexmacs, 0, 0, kOpivx, in.rd);
+    case Op::kVfindexmacsV: return op_v(kF6Vfindexmacs, 0, 0, kOpivx, in.rd);
     case Op::kIllegal: break;
   }
   raise("encode: unsupported op");
@@ -287,6 +301,13 @@ Instruction decode_op_v(std::uint32_t w, std::string* error) {
       break;
     case kF6Vfindexmac2:
       if (f3 == kOpivx) return Instruction{Op::kVfindexmac2Vx, rd, rs1f, vs2, 0};
+      break;
+    case kF6Vindexmacs:
+      if (f3 == kOpivx && rs1f == 0 && vs2 == 0) return Instruction{Op::kVindexmacsV, rd, 0, 0, 0};
+      break;
+    case kF6Vfindexmacs:
+      if (f3 == kOpivx && rs1f == 0 && vs2 == 0)
+        return Instruction{Op::kVfindexmacsV, rd, 0, 0, 0};
       break;
     default:
       break;
@@ -415,6 +436,14 @@ Instruction decode(std::uint32_t w, std::string* error) {
       if (w == 0x00100073) return Instruction{Op::kEbreak, 0, 0, 0, 0};
       return illegal(error, "unsupported SYSTEM encoding");
     case kOpCustom0:
+      if (f3 == kF3SsrCfg) {
+        if (f7 != 0 || rd >= 4) return illegal(error, "malformed ssrcfg");
+        return Instruction{Op::kSsrCfg, rd, rs1, rs2, 0};
+      }
+      if (f3 == kF3SsrEn) {
+        if (f7 != 0 || rd != 0 || rs2 != 0) return illegal(error, "malformed ssren");
+        return Instruction{Op::kSsrEn, 0, rs1, 0, 0};
+      }
       if (f3 != 0 || rd != 0 || rs1 != 0) return illegal(error, "malformed marker");
       return Instruction{Op::kMarker, 0, 0, 0, static_cast<std::int32_t>(bits(w, 31, 20))};
     case kOpVec:
@@ -555,6 +584,16 @@ std::string disassemble(const Instruction& in) {
       break;
     case Op::kVmvSX:
       s << m << ' ' << vr(in.rd) << ", " << xr(in.rs1);
+      break;
+    case Op::kSsrCfg:
+      s << m << ' ' << static_cast<unsigned>(in.rd) << ", " << xr(in.rs1) << ", " << xr(in.rs2);
+      break;
+    case Op::kSsrEn:
+      s << m << ' ' << xr(in.rs1);
+      break;
+    case Op::kVindexmacsV:
+    case Op::kVfindexmacsV:
+      s << m << ' ' << vr(in.rd);
       break;
     case Op::kIllegal:
       s << "illegal";

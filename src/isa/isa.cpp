@@ -33,6 +33,8 @@ bool is_vector(Op op) {
     case Op::kVfindexmacpVx:
     case Op::kVindexmac2Vx:
     case Op::kVfindexmac2Vx:
+    case Op::kVindexmacsV:
+    case Op::kVfindexmacsV:
       return true;
     default:
       return false;
@@ -134,6 +136,8 @@ bool writes_v(const Instruction& inst) {
     case Op::kVfindexmacpVx:
     case Op::kVindexmac2Vx:
     case Op::kVfindexmac2Vx:
+    case Op::kVindexmacsV:
+    case Op::kVfindexmacsV:
       return true;
     default:
       return false;
@@ -192,6 +196,8 @@ bool reads_x_rs1(const Instruction& inst) {
     case Op::kVfindexmacpVx:
     case Op::kVindexmac2Vx:
     case Op::kVfindexmac2Vx:
+    case Op::kSsrCfg:
+    case Op::kSsrEn:
       return true;
     default:
       return false;
@@ -219,6 +225,7 @@ bool reads_x_rs2(const Instruction& inst) {
     case Op::kOr:
     case Op::kAnd:
     case Op::kMul:
+    case Op::kSsrCfg:
       return true;
     default:
       return false;
@@ -302,6 +309,10 @@ std::string mnemonic(Op op) {
     case Op::kVfindexmacpVx: return "vfindexmacp.vx";
     case Op::kVindexmac2Vx: return "vindexmac2.vx";
     case Op::kVfindexmac2Vx: return "vfindexmac2.vx";
+    case Op::kSsrCfg: return "ssrcfg";
+    case Op::kSsrEn: return "ssren";
+    case Op::kVindexmacsV: return "vindexmacs.v";
+    case Op::kVfindexmacsV: return "vfindexmacs.v";
   }
   raise("mnemonic: unknown op");
 }

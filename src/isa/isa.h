@@ -77,6 +77,23 @@ enum class Op : std::uint8_t {
   //    dispatch, halving the dependent-MAC chain on the accumulator.
   kVindexmacpVx, kVfindexmacpVx,
   kVindexmac2Vx, kVfindexmac2Vx,
+  // Stream-semantic-register extension (Algorithm 5; after the SSR /
+  // ISSR line of work, arXiv:2305.05559 and arXiv:2011.08070): four
+  // address-generation state machines that feed operands straight into
+  // the vector engine, removing explicit index/value loads from the
+  // dynamic instruction stream.
+  //  * ssrcfg sid, rs1, rs2 — programs stream `sid` (0..3, carried in the
+  //    rd field): base address x[rs1], wrap length x[rs2] 32-bit words;
+  //    resets the stream position.
+  //  * ssren rs1 — enables the streams named by the low 4 bits of x[rs1]
+  //    (bit s = stream s) and disables the rest; enabling rewinds a
+  //    stream to its configured base. `ssren x0` disables all streams.
+  //  * vindexmacs.v / vfindexmacs.v vd — streaming MAC: pops an A value
+  //    from stream 0 and a VRF row index from stream 1, then performs
+  //    vd[i] += value * VRF[index & 0x1f][i]. Both streams advance one
+  //    word and wrap at their configured length.
+  kSsrCfg, kSsrEn,
+  kVindexmacsV, kVfindexmacsV,
 };
 
 /// A decoded instruction. Register fields are interpreted per-op:

@@ -36,6 +36,11 @@ std::uint8_t vector_reads_of(Op op) {
     case Op::kVindexmac2Vx:
     case Op::kVfindexmac2Vx:
       return kVReadRd | kVReadRs2;
+    case Op::kVindexmacsV:
+    case Op::kVfindexmacsV:
+      // Accumulator only; the A value arrives from stream 0 and the B row
+      // is an indirect VRF read resolved per dynamic instruction (stream 1).
+      return kVReadRd;
     case Op::kVle32:
     case Op::kVmvVX:
     case Op::kVmvVI:
@@ -67,6 +72,8 @@ VLatClass latency_class_of(Op op) {
     case Op::kVfindexmacpVx:
     case Op::kVindexmac2Vx:
     case Op::kVfindexmac2Vx:
+    case Op::kVindexmacsV:
+    case Op::kVfindexmacsV:
       return VLatClass::kMac;
     case Op::kVslidedownVx:
     case Op::kVslidedownVi:
@@ -115,8 +122,11 @@ StaticInstInfo predecode(const Instruction& inst) {
     s.flags |= kSiIndirectVreg;
   if (packed_mac) s.flags |= kSiPackedIndex;
   if (op == Op::kVindexmac2Vx || op == Op::kVfindexmac2Vx) s.flags |= kSiDualMac;
+  const bool ssr_mac = op == Op::kVindexmacsV || op == Op::kVfindexmacsV;
+  if (ssr_mac) s.flags |= kSiSsrMac;
+  if (op == Op::kSsrCfg || op == Op::kSsrEn) s.flags |= kSiSsrCtl;
   if (op == Op::kVmaccVx || op == Op::kVfmaccVf || op == Op::kVindexmacVx ||
-      op == Op::kVfindexmacVx || packed_mac)
+      op == Op::kVfindexmacVx || packed_mac || ssr_mac)
     s.flags |= kSiVectorMac;
 
   if (s.has(kSiScalarLoad | kSiScalarStore))

@@ -39,6 +39,8 @@ enum : std::uint32_t {
   kSiVectorMac = 1u << 19,     ///< counted in TimingStats::vector_macs
   kSiPackedIndex = 1u << 20,   ///< v(f)indexmacp/2: VRF source is 16 | nibble
   kSiDualMac = 1u << 21,       ///< v(f)indexmac2: two MAC ops per dispatch
+  kSiSsrMac = 1u << 22,        ///< v(f)indexmacs: operands pop from SSR streams
+  kSiSsrCtl = 1u << 23,        ///< ssrcfg/ssren: stream state-machine control
 };
 
 /// Vector-engine latency class; the timing model resolves each class to a

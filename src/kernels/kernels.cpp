@@ -75,6 +75,25 @@ class Generator {
     return a_.finish();
   }
 
+  Program ssr() {
+    IMAC_CHECK(o_.unroll == 1,
+               "Algorithm 5 streams A in strict sequential order: unroll=1 only");
+    prologue();
+    // Configure the two A streams once: both wrap at the full stream
+    // length, so every column strip replays the whole [ktile][row][slot]
+    // sequence without reprogramming.
+    a_.li(x(kXAval), static_cast<std::int64_t>(l_.a_values));
+    a_.li(x(kXAidx), static_cast<std::int64_t>(l_.a_indices));
+    a_.li(x(kXAddr), static_cast<std::int64_t>(l_.a_stream_words()));
+    a_.ssrcfg(0, x(kXAval), x(kXAddr));
+    a_.ssrcfg(1, x(kXAidx), x(kXAddr));
+    a_.li(x(kXAddr), 0b11);
+    a_.ssren(x(kXAddr));
+    emit_strips([this](bool tail) { ssr_strip_body(tail); });
+    epilogue();
+    return a_.finish();
+  }
+
   Program rowwise() {
     prologue();
     switch (o_.dataflow) {
@@ -358,6 +377,39 @@ class Generator {
     a_.blt(x(kXKtile), x(kXNumKtiles), ktile_loop);
   }
 
+  /// Algorithm 5 strip body: Algorithm 3's B-stationary shape, but the A
+  /// value/index strips never enter the vector register file — the
+  /// streaming MAC pops both operands from the SSR address generators, so
+  /// the per-row body is just load C, slots_per_tile MACs, store C, and
+  /// only the C pointer advances between rows.
+  void ssr_strip_body(bool tail) {
+    a_.mv(x(kXBTile), x(kXBStrip));
+    a_.li(x(kXKtileStep), static_cast<std::int64_t>(l_.tile_rows * l_.b_pitch_elems * 4));
+    a_.li(x(kXKtile), 0);
+    Label ktile_loop = a_.new_label();
+    a_.bind(ktile_loop);
+    preload_b_tile();
+    marker(kMarkerPreloadDone);
+    a_.mv(x(kXCRow), x(kXCStrip));
+    emit_row_groups([&](unsigned u) {
+      load_c_group(u);
+      for (unsigned j = 0; j < l_.slots_per_tile; ++j) {
+        for (unsigned r = 0; r < u; ++r) {
+          if (o_.elem == ElemType::kF32)
+            a_.vfindexmacs_v(v(kVAcc + r));
+          else
+            a_.vindexmacs_v(v(kVAcc + r));
+        }
+      }
+      store_c_group(u, tail);
+      marker(kMarkerRowGroupDone);
+      for (unsigned r = 0; r < u; ++r) a_.add(x(kXCRow), x(kXCRow), x(kXCPitch));
+    });
+    a_.add(x(kXBTile), x(kXBTile), x(kXKtileStep));
+    a_.addi(x(kXKtile), x(kXKtile), 1);
+    a_.blt(x(kXKtile), x(kXNumKtiles), ktile_loop);
+  }
+
   /// C-stationary Algorithm 2: C rows stay in registers across all k-tiles;
   /// the A stream is traversed strided ([ktile][row] layout, fixed row).
   void cstationary_strip_body(bool tail) {
@@ -537,6 +589,12 @@ Program emit_algorithm4(const SpmmLayout& layout, const KernelOptions& options) 
   return Generator(layout, options).algorithm4();
 }
 
+Program emit_algorithm_ssr(const SpmmLayout& layout, const KernelOptions& options) {
+  IMAC_CHECK(options.dataflow == Dataflow::kBStationary,
+             "Algorithm 5 is B-stationary by construction");
+  return Generator(layout, options).ssr();
+}
+
 Program emit_dense_rowwise_kernel(const SpmmLayout& layout, std::uint64_t a_dense_base,
                                   std::size_t a_pitch_elems, const KernelOptions& options) {
   IMAC_CHECK(options.unroll == 1, "the dense baseline supports unroll=1 only");
@@ -574,6 +632,26 @@ KernelFootprint predict_algorithm4_footprint(const SpmmLayout& layout) {
   fp.vector_stores = strips * layout.num_ktiles * layout.dims.rows_a;
   fp.macs = strips * layout.num_ktiles * layout.dims.rows_a * layout.slots_per_tile;
   fp.scalar_loads = strips * layout.num_ktiles * layout.dims.rows_a;
+  return fp;
+}
+
+KernelFootprint predict_ssr_footprint(const SpmmLayout& layout) {
+  const std::uint64_t strips = layout.full_strips() + (layout.tail_cols() != 0 ? 1 : 0);
+  // The SSR streams fetch whole 64-byte lines. Addresses ascend, so every
+  // line of a stream window is fetched once per strip — the wrap at the
+  // strip boundary refetches the first line — except a window that fits in
+  // a single line, which stays buffered across all strips.
+  const auto stream_line_fetches = [&](std::uint64_t base) {
+    const std::uint64_t words = layout.a_stream_words();
+    const std::uint64_t lines = ((base + 4 * words - 1) >> 6) - (base >> 6) + 1;
+    return lines == 1 ? 1 : strips * lines;
+  };
+  KernelFootprint fp;
+  fp.vector_loads = strips * layout.num_ktiles * (layout.tile_rows + layout.dims.rows_a) +
+                    stream_line_fetches(layout.a_values) +
+                    stream_line_fetches(layout.a_indices);
+  fp.vector_stores = strips * layout.num_ktiles * layout.dims.rows_a;
+  fp.macs = strips * layout.num_ktiles * layout.dims.rows_a * layout.slots_per_tile;
   return fp;
 }
 

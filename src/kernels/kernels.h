@@ -14,6 +14,12 @@
 //    eliminating Algorithm 3's per-slot vmv.x.s round trips — and
 //    adjacent slot pairs issue as one dual-row vindexmac2 MAC, halving
 //    the dependent-MAC chain on each accumulator.
+//  * Algorithm 5 — SSR streaming baseline (after arXiv:2305.05559 /
+//    arXiv:2011.08070): the A value and index streams never touch the
+//    vector register file. Two SSR address generators are configured once
+//    over the whole [ktile][row][slot] A sequence (wrapping per column
+//    strip) and the vindexmacs.v streaming MAC pops both operands, so the
+//    per-row body collapses to load C, slots_per_tile MACs, store C.
 //
 // All generators emit complete, self-contained programs (addresses baked as
 // immediates) that halt with ebreak; loop unrolling over U output rows
@@ -74,6 +80,12 @@ struct KernelOptions {
 /// layout.slots_per_tile <= 16 (one packed 64-bit index word per row).
 [[nodiscard]] Program emit_algorithm4(const SpmmLayout& layout, const KernelOptions& options);
 
+/// Algorithm 5 (SSR streaming). B-stationary by construction and restricted
+/// to unroll=1: the streams deliver A in strict [ktile][row][slot] order,
+/// which an interleaved row group would consume out of order.
+[[nodiscard]] Program emit_algorithm_ssr(const SpmmLayout& layout,
+                                         const KernelOptions& options);
+
 /// Algorithm 1 (dense row-wise). A is stored dense, row-major with pitch
 /// round_up(k,16); the sparse layout fields a_values/a_indices are unused —
 /// pass the dense A base via `a_dense_base`.
@@ -97,5 +109,8 @@ struct KernelFootprint {
 [[nodiscard]] KernelFootprint predict_rowwise_footprint(const SpmmLayout& layout);
 /// Predicts dynamic memory-operation counts for Algorithm 4.
 [[nodiscard]] KernelFootprint predict_algorithm4_footprint(const SpmmLayout& layout);
+/// Predicts dynamic memory-operation counts for Algorithm 5. Stream-side
+/// 64-byte line fetches count as vector loads, matching the timing model.
+[[nodiscard]] KernelFootprint predict_ssr_footprint(const SpmmLayout& layout);
 
 }  // namespace indexmac::kernels

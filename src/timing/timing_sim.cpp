@@ -191,6 +191,18 @@ class Model {
       return disp;
     }
 
+    if (flags & isa::kSiSsrCtl) {
+      // Stream control (ssrcfg/ssren): reprograms the address-generation
+      // state machines. No x-register destination — the rd field names a
+      // stream, not a register — and later streaming MACs must not issue
+      // before the new stream state is visible engine-side.
+      const std::uint64_t issue = issue_ports_.claim(std::max(disp, srcs));
+      const std::uint64_t done = issue + config_.scalar.alu_latency;
+      last_ssr_ctl_done_ = std::max(last_ssr_ctl_done_, done);
+      ssr_line_valid_[0] = ssr_line_valid_[1] = false;  // drop buffered lines
+      return done;
+    }
+
     // Plain ALU work (incl. vsetvli, which computes vl on the scalar side).
     const std::uint64_t issue = issue_ports_.claim(std::max(disp, srcs));
     const unsigned latency =
@@ -209,7 +221,9 @@ class Model {
     // branches resolved), scalar operands and the governing vl available,
     // and a vector-queue slot free. One vector instruction per cycle.
     // Attribute the wait to its binding constraint for the stall breakdown.
-    const std::uint64_t operand_ready = std::max(scalar_srcs(d), last_vsetvli_done_);
+    std::uint64_t operand_ready = std::max(scalar_srcs(d), last_vsetvli_done_);
+    if (d.info->has(isa::kSiSsrMac))
+      operand_ready = std::max(operand_ready, last_ssr_ctl_done_);
     std::uint64_t send =
         std::max({disp, operand_ready, last_branch_resolve_, last_vector_send_ + 1});
     const std::uint64_t queue_ready = viq_.available(send);
@@ -236,6 +250,28 @@ class Model {
     if (d.info->has(isa::kSiIndirectVreg)) {
       deps = std::max(deps, v_ready_[d.indirect_vreg]);  // the indirect VRF read
       if (d.info->has(isa::kSiDualMac)) deps = std::max(deps, v_ready_[d.indirect_vreg2]);
+    }
+    if (d.info->has(isa::kSiSsrMac)) {
+      deps = std::max(deps, v_ready_[d.indirect_vreg]);  // stream-resolved VRF read
+      // Each stream fronts memory with a one-line (64 B) buffer: only a
+      // line crossing costs a vector-load access, so sequential streaming
+      // amortizes one fetch over 16 pops per stream.
+      const std::uint64_t addrs[2] = {d.ssr_value_addr, d.ssr_index_addr};
+      for (unsigned s = 0; s < 2; ++s) {
+        const std::uint64_t line = addrs[s] & ~std::uint64_t{63};
+        if (ssr_line_valid_[s] && ssr_line_[s] == line) {
+          deps = std::max(deps, ssr_line_ready_[s]);
+          continue;
+        }
+        const std::uint64_t start = vlq_.available(send + vc.dispatch_latency);
+        const std::uint64_t done = mem_.vector_data(line, 64, false, start + 1);
+        vlq_.claim(done);
+        ++stats_.vector_loads;
+        ssr_line_[s] = line;
+        ssr_line_valid_[s] = true;
+        ssr_line_ready_[s] = done;
+        deps = std::max(deps, done);
+      }
     }
 
     const std::uint64_t occupancy =
@@ -325,11 +361,19 @@ class Model {
   /// Engine latency per isa::VLatClass, resolved from the config once.
   std::array<unsigned, static_cast<int>(isa::VLatClass::kCount)> vlat_cycles_{};
 
+  /// SSR stream-side line buffers (value stream 0, index stream 1): the
+  /// last fetched 64-byte line and the cycle it becomes usable. Invalidated
+  /// by stream-control ops, which reprogram the address generators.
+  std::array<std::uint64_t, 2> ssr_line_{};
+  std::array<bool, 2> ssr_line_valid_{};
+  std::array<std::uint64_t, 2> ssr_line_ready_{};
+
   std::uint64_t fetch_blocked_until_ = 0;
   std::uint64_t last_commit_ = 0;
   std::uint64_t last_branch_resolve_ = 0;
   std::uint64_t last_vector_send_ = 0;
   std::uint64_t last_vsetvli_done_ = 0;
+  std::uint64_t last_ssr_ctl_done_ = 0;
   std::uint64_t engine_next_issue_ = 0;
   std::uint64_t committed_ = 0;
 

@@ -34,6 +34,8 @@ struct DynInst {
   std::uint32_t vl = 0;             ///< vector length governing this op
   std::uint8_t indirect_vreg = 0;   ///< v(f)indexmac*: resolved VRF source
   std::uint8_t indirect_vreg2 = 0;  ///< dual-row forms: second VRF source
+  std::uint64_t ssr_value_addr = 0;  ///< v(f)indexmacs: stream-0 word address
+  std::uint64_t ssr_index_addr = 0;  ///< v(f)indexmacs: stream-1 word address
   std::uint32_t gather_count = 0;   ///< vluxei32: number of element addresses
   const std::uint64_t* gather_addrs = nullptr;  ///< vluxei32: per-element addresses
   std::int32_t marker_id = -1;      ///< markers: id, else -1
@@ -72,6 +74,8 @@ class TraceSource {
     out.mem_bytes = 0;
     out.indirect_vreg = 0;
     out.indirect_vreg2 = 0;
+    out.ssr_value_addr = 0;
+    out.ssr_index_addr = 0;
     out.gather_count = 0;
     out.gather_addrs = gather_scratch_.data();
     out.marker_id = -1;
@@ -95,6 +99,16 @@ class TraceSource {
       } else {
         out.indirect_vreg = static_cast<std::uint8_t>(packed & 0x1f);
       }
+    } else if (si.has(isa::kSiSsrMac)) {
+      // Streaming MAC: resolve the stream word addresses and the indirect
+      // VRF source before the machine advances the stream positions. The
+      // machine itself raises on a disabled/empty stream during step().
+      const auto& streams = machine_.ssr();
+      out.ssr_value_addr = streams[0].base + 4ull * streams[0].pos;
+      out.ssr_index_addr = streams[1].base + 4ull * streams[1].pos;
+      if (streams[1].enabled && streams[1].count != 0)
+        out.indirect_vreg = static_cast<std::uint8_t>(
+            machine_.memory().read_u32(out.ssr_index_addr) & 0x1f);
     } else if (si.has(isa::kSiMarker)) {
       out.marker_id = in.imm;
     }

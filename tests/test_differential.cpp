@@ -241,7 +241,7 @@ sparse::DenseMatrix<float> run_functional(const core::SpmmProblem& problem,
   return core::read_c(run, mem);
 }
 
-TEST(NonPaperSparsities, AllFourAlgorithmsBitExactAcrossDataflows) {
+TEST(NonPaperSparsities, AllFiveAlgorithmsBitExactAcrossDataflows) {
   // Beyond the paper's 1:4 / 2:4: wider blocks (1:8, 3:8 — odd slot
   // counts) and M equal to the full tile (2:16). Every algorithm that
   // structurally supports the cell must reproduce spmm_reference
@@ -256,13 +256,14 @@ TEST(NonPaperSparsities, AllFourAlgorithmsBitExactAcrossDataflows) {
     const core::SpmmProblem problem = core::SpmmProblem::random(dims, sp, seed++);
     const sparse::DenseMatrix<float> ref = problem.reference();
     for (const auto alg : {Algorithm::kDenseRowwise, Algorithm::kRowwiseSpmm,
-                           Algorithm::kIndexmac, Algorithm::kIndexmac4})
+                           Algorithm::kIndexmac, Algorithm::kIndexmac4, Algorithm::kSsr})
       for (const auto df : {kernels::Dataflow::kAStationary, kernels::Dataflow::kBStationary,
                             kernels::Dataflow::kCStationary}) {
         const bool supported =
             df == kernels::Dataflow::kBStationary || alg == Algorithm::kRowwiseSpmm;
-        if (!supported) continue;  // Algs 1/3/4 are B-stationary by construction
-        const unsigned unroll = alg == Algorithm::kDenseRowwise ? 1u : 4u;
+        if (!supported) continue;  // Algs 1/3/4/5 are B-stationary by construction
+        const unsigned unroll =
+            alg == Algorithm::kDenseRowwise || alg == Algorithm::kSsr ? 1u : 4u;
         SCOPED_TRACE(std::string(core::algorithm_name(alg)) + " df=" +
                      std::to_string(static_cast<int>(df)) + " " + std::to_string(sp.n) + ":" +
                      std::to_string(sp.m));
@@ -300,6 +301,52 @@ TEST(NonPaperSparsities, Algorithm4MatchesAlgorithm3BitExactly) {
           ASSERT_EQ(c3.at(i, j), c4.at(i, j)) << "(" << i << "," << j << ")";
     }
   }
+}
+
+TEST(NonPaperSparsities, SsrMatchesAlgorithm3BitExactly) {
+  // The streaming kernel packs A exactly like Algorithm 3 (IndexMode
+  // kVrfIndex) and replays the same [ktile][row][slot] MAC order through
+  // the streams, so its C bits must equal the vindexmac kernel's.
+  using core::Algorithm;
+  const kernels::GemmDims dims{11, 48, 31};
+  std::uint32_t seed = 600;
+  for (const sparse::Sparsity sp :
+       {sparse::kSparsity14, sparse::kSparsity24, sparse::Sparsity{1, 8},
+        sparse::Sparsity{3, 8}, sparse::Sparsity{2, 16}}) {
+    SCOPED_TRACE(std::to_string(sp.n) + ":" + std::to_string(sp.m));
+    const core::SpmmProblem problem = core::SpmmProblem::random(dims, sp, seed++);
+    const auto c3 = run_functional(
+        problem, core::RunConfig{.algorithm = Algorithm::kIndexmac, .kernel = {.unroll = 1}});
+    const auto c5 = run_functional(
+        problem, core::RunConfig{.algorithm = Algorithm::kSsr, .kernel = {.unroll = 1}});
+    for (std::size_t i = 0; i < c3.rows(); ++i)
+      for (std::size_t j = 0; j < c3.cols(); ++j)
+        ASSERT_EQ(c3.at(i, j), c5.at(i, j)) << "(" << i << "," << j << ")";
+  }
+}
+
+TEST(SampledVsExactMatrix, SsrSampledTracksExactAndPredictsAccesses) {
+  // The SSR family is sampled-capable: the extrapolated cycles stay within
+  // the documented bound and the analytic footprint (predict_ssr_footprint)
+  // reproduces the exact run's access count including the per-strip
+  // stream-line fetches.
+  using core::Algorithm;
+  const timing::ProcessorConfig proc{};
+  std::uint32_t seed = 700;
+  for (const MatrixShape& shape : transformer_matrix_shapes())
+    for (const sparse::Sparsity sp : {sparse::kSparsity14, sparse::kSparsity24}) {
+      SCOPED_TRACE(std::string(shape.label) + " " + std::to_string(sp.n) + ":" +
+                   std::to_string(sp.m));
+      const core::SpmmProblem problem = core::SpmmProblem::random(shape.dims, sp, seed++);
+      const core::RunConfig config{.algorithm = Algorithm::kSsr, .kernel = {.unroll = 1}};
+      const auto exact = core::run_exact(problem, config, proc);
+      const auto sampled = core::run_sampled(shape.dims, sp, config, proc);
+      const double err = std::abs(sampled.cycles - static_cast<double>(exact.stats.cycles)) /
+                         static_cast<double>(exact.stats.cycles);
+      EXPECT_LT(err, kSampledErrorBound)
+          << "sampled=" << sampled.cycles << " exact=" << exact.stats.cycles;
+      EXPECT_EQ(sampled.data_accesses, exact.data_accesses());
+    }
 }
 
 TEST(Tracer, RecordsEveryRetiredInstruction) {

@@ -2,6 +2,7 @@
 
 #include "asm/assembler.h"
 #include "asm/text_assembler.h"
+#include "common/error.h"
 #include "fsim/machine.h"
 
 namespace indexmac {
@@ -435,6 +436,214 @@ TEST(Fsim, Vindexmac2EqualsTwoPackedMacs) {
       (dual ? lanes_dual : lanes_two)[i] = r.state().v[2][i];
   }
   EXPECT_EQ(lanes_dual, lanes_two);
+}
+
+TEST(Fsim, SsrStreamingMacMatchesExplicitVindexmac) {
+  // vindexmacs.v consuming (value, index) pairs from streams 0/1 must
+  // produce the bits of the equivalent explicit vindexmac.vx sequence.
+  std::array<std::uint32_t, 16> lanes_ssr{}, lanes_explicit{};
+  for (const bool streaming : {true, false}) {
+    Assembler a;
+    a.li(x(1), 16);
+    a.vsetvli_e32m1(x(0), x(1));
+    a.li(x(2), 0x1000);
+    a.vle32(v(8), x(2));              // B rows in v8 and v9
+    a.li(x(2), 0x1040);
+    a.vle32(v(9), x(2));
+    a.vmv_v_i(v(2), 0);
+    if (streaming) {
+      a.li(x(3), 0x2000);             // A values
+      a.li(x(4), 0x3000);             // VRF row indices
+      a.li(x(5), 2);
+      a.ssrcfg(0, x(3), x(5));
+      a.ssrcfg(1, x(4), x(5));
+      a.li(x(5), 0b11);
+      a.ssren(x(5));
+      a.vindexmacs_v(v(2));
+      a.vindexmacs_v(v(2));
+    } else {
+      a.li(x(6), 3);                  // values[0]
+      a.li(x(7), 8);                  // indices[0] -> v8
+      a.vmv_s_x(v(1), x(6));
+      a.vindexmac_vx(v(2), v(1), x(7));
+      a.li(x(6), -5);                 // values[1]
+      a.li(x(7), 9);                  // indices[1] -> v9
+      a.vmv_s_x(v(1), x(6));
+      a.vindexmac_vx(v(2), v(1), x(7));
+    }
+    a.ebreak();
+    SimRun r(a);
+    std::vector<std::int32_t> row8(16), row9(16);
+    for (int i = 0; i < 16; ++i) {
+      row8[i] = i + 1;
+      row9[i] = 2 * i - 3;
+    }
+    r.mem.write_i32s(0x1000, row8);
+    r.mem.write_i32s(0x1040, row9);
+    r.mem.write_i32s(0x2000, std::vector<std::int32_t>{3, -5});
+    r.mem.write_i32s(0x3000, std::vector<std::int32_t>{8, 9});
+    EXPECT_EQ(r.go(), StopReason::kEbreak);
+    for (unsigned i = 0; i < 16; ++i)
+      (streaming ? lanes_ssr : lanes_explicit)[i] = r.state().v[2][i];
+  }
+  EXPECT_EQ(lanes_ssr, lanes_explicit);
+}
+
+TEST(Fsim, SsrFloatVariantAndIndexMasking) {
+  // vfindexmacs.v interprets the stream-0 word as fp32 bits, and only the
+  // low 5 bits of the stream-1 word select the VRF row.
+  Assembler a;
+  a.li(x(1), 16);
+  a.vsetvli_e32m1(x(0), x(1));
+  a.li(x(2), 0x1000);
+  a.vle32(v(12), x(2));
+  a.vmv_v_i(v(2), 0);
+  a.li(x(3), 0x2000);
+  a.li(x(4), 0x3000);
+  a.li(x(5), 1);
+  a.ssrcfg(0, x(3), x(5));
+  a.ssrcfg(1, x(4), x(5));
+  a.li(x(5), 0b11);
+  a.ssren(x(5));
+  a.vfindexmacs_v(v(2));
+  a.ebreak();
+  SimRun r(a);
+  std::vector<float> brow(16);
+  for (int i = 0; i < 16; ++i) brow[i] = 0.25f * static_cast<float>(i);
+  r.mem.write_f32s(0x1000, brow);
+  r.mem.write_f32(0x2000, -2.0f);
+  r.mem.write_i32s(0x3000, std::vector<std::int32_t>{32 + 12});  // low 5 bits = 12
+  r.go();
+  for (unsigned i = 0; i < 16; ++i)
+    EXPECT_FLOAT_EQ(r.state().velem_f32(2, i), -0.5f * static_cast<float>(i));
+}
+
+TEST(Fsim, SsrStreamWrapsAtConfiguredCount) {
+  // A 2-word window replays (value, index) pairs: four MACs with count 2
+  // accumulate each pair twice.
+  Assembler a;
+  a.li(x(1), 16);
+  a.vsetvli_e32m1(x(0), x(1));
+  a.li(x(2), 0x1000);
+  a.vle32(v(8), x(2));
+  a.vmv_v_i(v(2), 0);
+  a.li(x(3), 0x2000);
+  a.li(x(4), 0x3000);
+  a.li(x(5), 2);
+  a.ssrcfg(0, x(3), x(5));
+  a.ssrcfg(1, x(4), x(5));
+  a.li(x(5), 0b11);
+  a.ssren(x(5));
+  for (int i = 0; i < 4; ++i) a.vindexmacs_v(v(2));
+  a.ebreak();
+  SimRun r(a);
+  std::vector<std::int32_t> brow(16, 1);
+  r.mem.write_i32s(0x1000, brow);
+  r.mem.write_i32s(0x2000, std::vector<std::int32_t>{3, 5});
+  r.mem.write_i32s(0x3000, std::vector<std::int32_t>{8, 8});
+  r.go();
+  for (unsigned i = 0; i < 16; ++i) EXPECT_EQ(r.state().v[2][i], 2u * (3u + 5u));
+}
+
+TEST(Fsim, SsrReEnableRewindsToBase) {
+  Assembler a;
+  a.li(x(1), 16);
+  a.vsetvli_e32m1(x(0), x(1));
+  a.li(x(2), 0x1000);
+  a.vle32(v(8), x(2));
+  a.vmv_v_i(v(2), 0);
+  a.li(x(3), 0x2000);
+  a.li(x(4), 0x3000);
+  a.li(x(5), 4);
+  a.ssrcfg(0, x(3), x(5));
+  a.ssrcfg(1, x(4), x(5));
+  a.li(x(5), 0b11);
+  a.ssren(x(5));
+  a.vindexmacs_v(v(2));    // consumes pair 0 of the 4-word window
+  a.ssren(x(5));           // re-enable: both streams rewind to base
+  a.vindexmacs_v(v(2));    // consumes pair 0 again
+  a.ebreak();
+  SimRun r(a);
+  std::vector<std::int32_t> brow(16, 1);
+  r.mem.write_i32s(0x1000, brow);
+  r.mem.write_i32s(0x2000, std::vector<std::int32_t>{7, 100, 100, 100});
+  r.mem.write_i32s(0x3000, std::vector<std::int32_t>{8, 8, 8, 8});
+  r.go();
+  for (unsigned i = 0; i < 16; ++i) EXPECT_EQ(r.state().v[2][i], 14u);
+}
+
+TEST(Fsim, SsrMacWithoutEnableRaises) {
+  Assembler a;
+  a.li(x(1), 16);
+  a.vsetvli_e32m1(x(0), x(1));
+  a.li(x(3), 0x2000);
+  a.li(x(5), 2);
+  a.ssrcfg(0, x(3), x(5));
+  a.ssrcfg(1, x(3), x(5));
+  a.vindexmacs_v(v(2));    // streams configured but never enabled
+  a.ebreak();
+  SimRun r(a);
+  EXPECT_THROW((void)r.go(), SimError);
+}
+
+TEST(Fsim, SsrDisableAllStopsStreaming) {
+  Assembler a;
+  a.li(x(1), 16);
+  a.vsetvli_e32m1(x(0), x(1));
+  a.li(x(3), 0x2000);
+  a.li(x(5), 2);
+  a.ssrcfg(0, x(3), x(5));
+  a.ssrcfg(1, x(3), x(5));
+  a.li(x(5), 0b11);
+  a.ssren(x(5));
+  a.ssren(x(0));           // disables every stream
+  a.vindexmacs_v(v(2));
+  a.ebreak();
+  SimRun r(a);
+  EXPECT_THROW((void)r.go(), SimError);
+}
+
+TEST(Fsim, SsrEmptyWindowRaises) {
+  Assembler a;
+  a.li(x(1), 16);
+  a.vsetvli_e32m1(x(0), x(1));
+  a.li(x(3), 0x2000);
+  a.ssrcfg(0, x(3), x(0));  // count 0: configured empty
+  a.ssrcfg(1, x(3), x(0));
+  a.li(x(5), 0b11);
+  a.ssren(x(5));
+  a.vindexmacs_v(v(2));
+  a.ebreak();
+  SimRun r(a);
+  EXPECT_THROW((void)r.go(), SimError);
+}
+
+TEST(Fsim, TextAssembledSsrKernelMatchesBuilder) {
+  const auto out = assemble_text(R"(
+      li t0, 16
+      vsetvli zero, t0, e32m1
+      li t1, 0x1000
+      vle32.v v8, (t1)
+      vmv.v.i v2, 0
+      li t2, 0x2000
+      li t3, 0x3000
+      li t4, 1
+      ssrcfg 0, t2, t4
+      ssrcfg 1, t3, t4
+      li t4, 3
+      ssren t4
+      vindexmacs.v v2
+      ebreak
+  )");
+  MainMemory mem;
+  std::vector<std::int32_t> brow(16);
+  for (int i = 0; i < 16; ++i) brow[i] = i;
+  mem.write_i32s(0x1000, brow);
+  mem.write_i32s(0x2000, std::vector<std::int32_t>{7});
+  mem.write_i32s(0x3000, std::vector<std::int32_t>{8});
+  Machine machine(out.program, mem);
+  EXPECT_EQ(machine.run(), StopReason::kEbreak);
+  for (unsigned i = 0; i < 16; ++i) EXPECT_EQ(machine.state().v[2][i], 7u * i);
 }
 
 TEST(Fsim, TextAssembledKernelMatchesBuilder) {

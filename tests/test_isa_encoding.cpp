@@ -135,6 +135,65 @@ TEST(IsaEncoding, FollowUpVariantsUseReservedOpivxSpace) {
   }
 }
 
+TEST(IsaEncoding, RoundTripSsrOps) {
+  for (std::uint8_t sid = 0; sid < 4; ++sid)
+    expect_roundtrip(Instruction{Op::kSsrCfg, sid, 5, 6, 0});
+  expect_roundtrip(Instruction{Op::kSsrEn, 0, 7, 0, 0});
+  expect_roundtrip(Instruction{Op::kSsrEn, 0, 0, 0, 0});
+  expect_roundtrip(Instruction{Op::kVindexmacsV, 2, 0, 0, 0});
+  expect_roundtrip(Instruction{Op::kVfindexmacsV, 31, 0, 0, 0});
+}
+
+TEST(IsaEncoding, SsrControlUsesCustom0MinorOpcodes) {
+  // ssrcfg/ssren share the custom-0 major opcode with the marker,
+  // distinguished by funct3 (001/010 vs the marker's 000).
+  const std::uint32_t cfg = encode(Instruction{Op::kSsrCfg, 2, 5, 6, 0});
+  EXPECT_EQ(cfg & 0x7f, 0b0001011u);        // custom-0
+  EXPECT_EQ((cfg >> 12) & 0x7, 0b001u);     // ssrcfg minor opcode
+  EXPECT_EQ((cfg >> 7) & 0x1f, 2u);         // stream id in rd
+  EXPECT_EQ((cfg >> 15) & 0x1f, 5u);        // rs1 = base
+  EXPECT_EQ((cfg >> 20) & 0x1f, 6u);        // rs2 = wrap count
+  const std::uint32_t en = encode(Instruction{Op::kSsrEn, 0, 7, 0, 0});
+  EXPECT_EQ(en & 0x7f, 0b0001011u);
+  EXPECT_EQ((en >> 12) & 0x7, 0b010u);      // ssren minor opcode
+  EXPECT_EQ((en >> 15) & 0x1f, 7u);
+}
+
+TEST(IsaEncoding, StreamingMacUsesReservedOpivxSpace) {
+  // vindexmacs/vfindexmacs extend the custom OPIVX block at funct6
+  // 0b110110/0b110111 with rs1 and vs2 hard-wired to zero.
+  const struct {
+    Op op;
+    std::uint32_t funct6;
+  } cases[] = {{Op::kVindexmacsV, 0b110110u}, {Op::kVfindexmacsV, 0b110111u}};
+  for (const auto& c : cases) {
+    const std::uint32_t w = encode(Instruction{c.op, 3, 0, 0, 0});
+    EXPECT_EQ(w & 0x7f, 0b1010111u) << mnemonic(c.op);     // OP-V
+    EXPECT_EQ((w >> 12) & 0x7, 0b100u) << mnemonic(c.op);  // OPIVX
+    EXPECT_EQ(w >> 26, c.funct6) << mnemonic(c.op);
+    EXPECT_EQ((w >> 25) & 1, 1u) << mnemonic(c.op);        // unmasked
+    EXPECT_EQ((w >> 20) & 0x1f, 0u) << mnemonic(c.op);     // vs2 == 0
+    EXPECT_EQ((w >> 15) & 0x1f, 0u) << mnemonic(c.op);     // rs1 == 0
+    EXPECT_EQ((w >> 7) & 0x1f, 3u) << mnemonic(c.op);      // vd
+  }
+}
+
+TEST(IsaEncoding, MalformedSsrWordsAreRejected) {
+  EXPECT_THROW((void)encode(Instruction{Op::kSsrCfg, 4, 5, 6, 0}), SimError);  // sid > 3
+  std::string err;
+  // ssrcfg with a stream id outside 0..3 in the rd field.
+  const std::uint32_t cfg = encode(Instruction{Op::kSsrCfg, 3, 5, 6, 0});
+  EXPECT_EQ(decode(cfg | (0x10u << 7), &err).op, Op::kIllegal);
+  // ssren with non-zero rd or rs2 fields.
+  const std::uint32_t en = encode(Instruction{Op::kSsrEn, 0, 7, 0, 0});
+  EXPECT_EQ(decode(en | (1u << 7), &err).op, Op::kIllegal);
+  EXPECT_EQ(decode(en | (1u << 20), &err).op, Op::kIllegal);
+  // Streaming MACs with explicit rs1/vs2 operands do not decode.
+  const std::uint32_t mac = encode(Instruction{Op::kVindexmacsV, 3, 0, 0, 0});
+  EXPECT_EQ(decode(mac | (1u << 15), &err).op, Op::kIllegal);
+  EXPECT_EQ(decode(mac | (1u << 20), &err).op, Op::kIllegal);
+}
+
 TEST(IsaEncoding, ImmediateRangeChecksThrow) {
   EXPECT_THROW((void)encode(Instruction{Op::kAddi, 1, 1, 0, 2048}), SimError);
   EXPECT_THROW((void)encode(Instruction{Op::kAddi, 1, 1, 0, -2049}), SimError);
@@ -177,6 +236,10 @@ TEST(IsaEncoding, DisassembleProducesExpectedText) {
   EXPECT_EQ(disassemble(Instruction{Op::kVfmaccVf, 1, 2, 3, 0}), "vfmacc.vf v1, f2, v3");
   EXPECT_EQ(disassemble(Instruction{Op::kVmvXS, 9, 0, 10, 0}), "vmv.x.s x9, v10");
   EXPECT_EQ(disassemble(Instruction{Op::kMarker, 0, 0, 0, 42}), "marker 42");
+  EXPECT_EQ(disassemble(Instruction{Op::kSsrCfg, 2, 5, 6, 0}), "ssrcfg 2, x5, x6");
+  EXPECT_EQ(disassemble(Instruction{Op::kSsrEn, 0, 7, 0, 0}), "ssren x7");
+  EXPECT_EQ(disassemble(Instruction{Op::kVindexmacsV, 3, 0, 0, 0}), "vindexmacs.v v3");
+  EXPECT_EQ(disassemble(Instruction{Op::kVfindexmacsV, 3, 0, 0, 0}), "vfindexmacs.v v3");
 }
 
 class AllOpsRoundTrip : public ::testing::TestWithParam<Op> {};
@@ -214,6 +277,10 @@ TEST_P(AllOpsRoundTrip, EncodeDecodeIdentity) {
       inst = Instruction{op, 1, 0, 3, 5}; break;
     case Op::kVle32: case Op::kVse32:
       inst = Instruction{op, 1, 2, 0, 0}; break;
+    case Op::kSsrEn:
+      inst = Instruction{op, 0, 2, 0, 0}; break;
+    case Op::kVindexmacsV: case Op::kVfindexmacsV:
+      inst = Instruction{op, 1, 0, 0, 0}; break;
     case Op::kSw: case Op::kSd: case Op::kFsw:
       inst = Instruction{op, 0, 2, 3, 4}; break;
     default: break;
@@ -235,7 +302,7 @@ INSTANTIATE_TEST_SUITE_P(
         Op::kVfmaccVf, Op::kVmvVX, Op::kVmvVI, Op::kVmvXS, Op::kVfmvFS, Op::kVmvSX,
         Op::kVslidedownVx, Op::kVslidedownVi, Op::kVslide1downVx, Op::kVindexmacVx,
         Op::kVfindexmacVx, Op::kVindexmacpVx, Op::kVfindexmacpVx, Op::kVindexmac2Vx,
-        Op::kVfindexmac2Vx),
+        Op::kVfindexmac2Vx, Op::kSsrCfg, Op::kSsrEn, Op::kVindexmacsV, Op::kVfindexmacsV),
     [](const ::testing::TestParamInfo<Op>& info) {
       std::string name = mnemonic(info.param);
       for (char& c : name)

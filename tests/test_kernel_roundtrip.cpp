@@ -71,6 +71,23 @@ TEST(KernelRoundTrip, Algorithm4IntegerLanesAndOddSlots) {
   expect_round_trip(emit_algorithm4(odd_layout, odd), "algorithm4 odd slots");
 }
 
+TEST(KernelRoundTrip, SsrSparsitiesAndMarkers) {
+  // Pins the text assembler to the SSR vocabulary the generator emits
+  // (ssrcfg/ssren and the operand-less streaming MACs).
+  const GemmDims dims{16, 64, 40};  // full strips + ragged tail
+  for (const auto sp : {sparse::kSparsity14, sparse::kSparsity24})
+    for (const bool markers : {false, true}) {
+      KernelOptions options{.unroll = 1, .emit_markers = markers};
+      const SpmmLayout layout = layout_for(dims, sp, 16);
+      expect_round_trip(emit_algorithm_ssr(layout, options),
+                        "ssr " + std::to_string(sp.n) + ":" + std::to_string(sp.m) +
+                            (markers ? " markers" : ""));
+    }
+  KernelOptions i32{.unroll = 1, .elem = ElemType::kI32};
+  expect_round_trip(emit_algorithm_ssr(layout_for({8, 32, 16}, sparse::kSparsity14, 8), i32),
+                    "ssr i32");
+}
+
 TEST(KernelRoundTrip, RowwiseAllDataflowsAndUnrolls) {
   const GemmDims dims{16, 64, 40};
   for (const auto df :

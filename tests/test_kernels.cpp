@@ -124,6 +124,66 @@ TEST(Kernels, Algorithm4FootprintDropsIndexStripLoads) {
   EXPECT_EQ(fp3.scalar_loads, 0u);
 }
 
+TEST(Kernels, SsrSmallest) {
+  const auto problem = SpmmProblem::random({1, 16, 16}, kSparsity14, 3);
+  expect_correct(problem, RunConfig{.algorithm = Algorithm::kSsr, .kernel = {.unroll = 1}});
+}
+
+TEST(Kernels, SsrRaggedShape) {
+  const auto problem = SpmmProblem::random({9, 50, 33}, kSparsity24, 21);
+  expect_correct(problem, RunConfig{.algorithm = Algorithm::kSsr, .kernel = {.unroll = 1}});
+}
+
+TEST(Kernels, SsrSmallerTile) {
+  const auto problem = SpmmProblem::random({6, 40, 24}, kSparsity24, 9);
+  expect_correct(problem, RunConfig{.algorithm = Algorithm::kSsr,
+                                    .kernel = {.unroll = 1},
+                                    .tile_rows = 8});
+}
+
+TEST(Kernels, SsrMarkersDoNotPerturbResults) {
+  const auto problem = SpmmProblem::random({5, 32, 18}, kSparsity24, 11);
+  expect_correct(problem, RunConfig{.algorithm = Algorithm::kSsr,
+                                    .kernel = {.unroll = 1, .emit_markers = true}});
+}
+
+TEST(Kernels, SsrRejectsUnrollAboveOne) {
+  // Streams deliver A strictly sequentially; row-group unrolling would
+  // need the [ktile][row][slot] order interleaved, so the generator
+  // documents unroll=1 only.
+  const auto problem = SpmmProblem::random({2, 16, 16}, kSparsity14, 13);
+  MainMemory mem;
+  EXPECT_THROW(
+      (void)prepare(problem,
+                    RunConfig{.algorithm = Algorithm::kSsr, .kernel = {.unroll = 2}}, mem),
+      SimError);
+}
+
+TEST(Kernels, SsrKernelIsBStationaryOnly) {
+  kernels::SpmmLayout layout;  // never used: the check fires first
+  EXPECT_THROW((void)kernels::emit_algorithm_ssr(
+                   layout, kernels::KernelOptions{.dataflow = Dataflow::kCStationary}),
+               SimError);
+}
+
+TEST(Kernels, SsrFootprintReplacesAStripLoadsWithStreamLines) {
+  AddressAllocator alloc;
+  const auto layout = kernels::make_layout({8, 64, 32}, kSparsity14, 16, alloc);
+  const auto fp3 = kernels::predict_indexmac_footprint(layout);
+  const auto fps = kernels::predict_ssr_footprint(layout);
+  EXPECT_EQ(fps.macs, fp3.macs);
+  EXPECT_EQ(fps.vector_stores, fp3.vector_stores);
+  EXPECT_EQ(fps.scalar_loads, 0u);
+  // Alg3 loads a value strip and an index strip per (strip, ktile, row);
+  // the SSR kernel fetches each stream's 64-byte lines instead, re-walking
+  // the window once per strip.
+  const std::uint64_t strips = 2, ktiles = 4, rows = 8;
+  const std::uint64_t words = layout.a_stream_words();
+  const std::uint64_t lines_per_stream = (4 * words + 63) / 64;  // 64B-aligned base
+  EXPECT_EQ(fp3.vector_loads - fps.vector_loads,
+            2 * strips * ktiles * rows - 2 * strips * lines_per_stream);
+}
+
 TEST(Kernels, RowwiseSmallest) {
   const auto problem = SpmmProblem::random({1, 16, 16}, kSparsity14, 7);
   expect_correct(problem, RunConfig{.algorithm = Algorithm::kRowwiseSpmm,

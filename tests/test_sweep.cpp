@@ -151,6 +151,34 @@ TEST(SweepExpansion, Algorithm4ExpandsBStationaryOnly) {
   EXPECT_EQ(report.rows.size(), 24u);
 }
 
+TEST(SweepExpansion, SsrExpandsBStationaryUnrollOneOnly) {
+  // The streaming family's descriptor pins B-stationary / unroll 1; every
+  // other cell of a mixed grid is skipped, not an error.
+  const SweepSpec spec = parse_sweep_spec(R"({
+    "name": "ssr-mixed",
+    "workloads": ["tiny"],
+    "sparsities": ["1:4"],
+    "algorithms": ["rowwise", "ssr"],
+    "dataflows": ["a", "b", "c"],
+    "unroll": [1, 4],
+    "mode": "exact"
+  })");
+  const auto points = expand_sweep(spec);
+  // Per workload: rowwise 3 dataflows x 2 unrolls + ssr {b} x {1} = 7;
+  // times 3 tiny workloads.
+  ASSERT_EQ(points.size(), 21u);
+  std::size_t ssr = 0;
+  for (const SweepPoint& p : points)
+    if (p.config.algorithm == Algorithm::kSsr) {
+      ++ssr;
+      EXPECT_EQ(p.config.kernel.dataflow, kernels::Dataflow::kBStationary);
+      EXPECT_EQ(p.config.kernel.unroll, 1u);
+    }
+  EXPECT_EQ(ssr, 3u);
+  const SweepReport report = run_sweep(spec, 2);
+  EXPECT_EQ(report.rows.size(), 21u);
+}
+
 TEST(SweepExpansion, PreExpandedOverloadMatchesImplicitExpansion) {
   const SweepSpec spec = parse_sweep_spec(kTinySpec);
   const auto points = expand_sweep(spec);

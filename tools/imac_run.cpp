@@ -11,8 +11,10 @@
 //                   the canonical single-process report
 //   list-workloads  show the registered workload suites (or one suite's
 //                   layer list)
+//   list-algorithms show the registered kernel families (id, name, report
+//                   role, sampled-mode support)
 //   report          pretty-print a sweep CSV, pairing algorithms into
-//                   speedup columns
+//                   speedup columns by their registry pairing role
 //
 // Invoking with a .s file and no subcommand keeps the historical
 // single-purpose interface working: `imac_run [flags] file.s` == `imac_run
@@ -30,6 +32,7 @@
 #include "asm/text_assembler.h"
 #include "common/error.h"
 #include "common/format.h"
+#include "core/algorithm_registry.h"
 #include "core/batch.h"
 #include "core/result_store.h"
 #include "core/sweep.h"
@@ -81,9 +84,14 @@ void usage(std::FILE* out) {
                "  when both are given.\n"
                "  list-workloads [suite]\n"
                "      Lists the registered workload suites, or one suite's layers.\n"
+               "  list-algorithms\n"
+               "      Lists the registered kernel families: id (as used in sweep specs\n"
+               "      and CSV reports), display name, report pairing role, and whether\n"
+               "      sampled sweep mode supports the family.\n"
                "  report file.csv\n"
                "      Pretty-prints a sweep CSV; rows measured with both kernels are\n"
-               "      paired into a speedup column.\n"
+               "      paired into a speedup column (standalone families keep their\n"
+               "      own rows).\n"
                "  -h, --help     show this help and exit\n"
                "\n"
                "`imac_run [flags] file.s` (no subcommand) is accepted as `run`.\n");
@@ -396,6 +404,21 @@ int cmd_list_workloads(int argc, char** argv) {
   return 0;
 }
 
+int cmd_list_algorithms(int argc, char** /*argv*/) {
+  using namespace indexmac;
+  if (argc != 0) {
+    usage(stderr);
+    return 2;
+  }
+  TextTable table;
+  table.set_header({"id", "name", "role", "sampled", "description"});
+  for (const core::AlgorithmDescriptor& d : core::AlgorithmRegistry::instance().all())
+    table.add_row({d.id, d.display_name, core::pairing_role_name(d.pairing),
+                   d.supports_sampled ? "yes" : "no", d.description});
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
 int cmd_report(int argc, char** argv) {
   using namespace indexmac;
   if (argc != 1) {
@@ -411,40 +434,48 @@ int cmd_report(int argc, char** argv) {
   buf << file.rdbuf();
   const core::SweepReport report = core::parse_csv_report(buf.str());
 
-  // Pair rowwise/indexmac/indexmac4 measurements of the same point into
-  // one line.
+  // Pair baseline/proposed/proposed-v2 measurements of the same point into
+  // one line, by each family's registry pairing role. Standalone families
+  // (dense, ssr) get the family id folded into the key, so every one keeps
+  // its own line instead of vanishing behind a pair.
   struct Pair {
-    const core::SweepRow* rowwise = nullptr;
+    const core::SweepRow* baseline = nullptr;
     const core::SweepRow* proposed = nullptr;
-    const core::SweepRow* proposed4 = nullptr;
+    const core::SweepRow* proposed_v2 = nullptr;
     const core::SweepRow* any = nullptr;
   };
-  std::map<std::string, Pair> pairs;  // keyed by everything but the algorithm
+  std::map<std::string, Pair> pairs;  // keyed by everything but the paired algorithm
   std::vector<std::string> order;
   for (const core::SweepRow& row : report.rows) {
     const core::SweepPoint& p = row.point;
-    const std::string key = p.suite + "|" + p.workload + "|" +
-                            workloads::sparsity_label(p.sp) + "|u" +
-                            std::to_string(p.config.kernel.unroll) + "|df" +
-                            std::to_string(static_cast<int>(p.config.kernel.dataflow)) + "|L" +
-                            std::to_string(p.config.tile_rows) + "|" +
-                            core::sweep_mode_name(p.mode) + "|" +
-                            std::to_string(p.dims.rows_a) + "x" + std::to_string(p.dims.k) + "x" +
-                            std::to_string(p.dims.cols_b);
+    const core::AlgorithmDescriptor& desc =
+        core::AlgorithmRegistry::instance().by_algorithm(p.config.algorithm);
+    std::string key = p.suite + "|" + p.workload + "|" +
+                      workloads::sparsity_label(p.sp) + "|u" +
+                      std::to_string(p.config.kernel.unroll) + "|df" +
+                      std::to_string(static_cast<int>(p.config.kernel.dataflow)) + "|L" +
+                      std::to_string(p.config.tile_rows) + "|" +
+                      core::sweep_mode_name(p.mode) + "|" +
+                      std::to_string(p.dims.rows_a) + "x" + std::to_string(p.dims.k) + "x" +
+                      std::to_string(p.dims.cols_b);
+    if (desc.pairing == core::PairingRole::kStandalone) key += "|" + desc.id;
     auto [it, inserted] = pairs.try_emplace(key);
     if (inserted) order.push_back(key);
     it->second.any = &row;
-    if (p.config.algorithm == core::Algorithm::kRowwiseSpmm) it->second.rowwise = &row;
-    if (p.config.algorithm == core::Algorithm::kIndexmac) it->second.proposed = &row;
-    if (p.config.algorithm == core::Algorithm::kIndexmac4) it->second.proposed4 = &row;
+    switch (desc.pairing) {
+      case core::PairingRole::kBaseline: it->second.baseline = &row; break;
+      case core::PairingRole::kProposed: it->second.proposed = &row; break;
+      case core::PairingRole::kProposedV2: it->second.proposed_v2 = &row; break;
+      case core::PairingRole::kStandalone: break;
+    }
   }
   bool any_v2 = false;
-  for (const std::string& key : order) any_v2 = any_v2 || pairs.at(key).proposed4 != nullptr;
+  for (const std::string& key : order) any_v2 = any_v2 || pairs.at(key).proposed_v2 != nullptr;
 
   std::printf("sweep %s (%zu rows)\n\n", report.spec_name.c_str(), report.rows.size());
   TextTable table;
   std::vector<std::string> header = {"suite",  "workload", "GEMM (RxKxN)",
-                                     "sparsity", "dataflow", "unroll",
+                                     "sparsity", "dataflow", "unroll", "algorithm",
                                      "cycles", "accesses", "speedup"};
   if (any_v2) {
     header.push_back("v2 cycles");
@@ -457,8 +488,8 @@ int cmd_report(int argc, char** argv) {
     const core::SweepPoint& p = base.point;
     std::string speedup = "-";
     std::string cycles;
-    if (pair.rowwise != nullptr && pair.proposed != nullptr) {
-      speedup = fmt_speedup(pair.rowwise->cycles / pair.proposed->cycles);
+    if (pair.baseline != nullptr && pair.proposed != nullptr) {
+      speedup = fmt_speedup(pair.baseline->cycles / pair.proposed->cycles);
       cycles = fmt_fixed(pair.proposed->cycles, 0);
     } else {
       cycles = fmt_fixed(base.cycles, 0);
@@ -473,15 +504,16 @@ int cmd_report(int argc, char** argv) {
         std::to_string(p.dims.rows_a) + "x" + std::to_string(p.dims.k) + "x" +
             std::to_string(p.dims.cols_b),
         workloads::sparsity_label(p.sp), df, std::to_string(p.config.kernel.unroll),
+        core::AlgorithmRegistry::instance().by_algorithm(shown.point.config.algorithm).id,
         cycles, fmt_count(shown.data_accesses), speedup};
     if (any_v2) {
       // v2 speedup is measured against the strongest available baseline:
       // Algorithm 3 when present, else Algorithm 2.
       const core::SweepRow* v2_base =
-          pair.proposed != nullptr ? pair.proposed : pair.rowwise;
-      cells.push_back(pair.proposed4 != nullptr ? fmt_fixed(pair.proposed4->cycles, 0) : "-");
-      cells.push_back(pair.proposed4 != nullptr && v2_base != nullptr
-                          ? fmt_speedup(v2_base->cycles / pair.proposed4->cycles)
+          pair.proposed != nullptr ? pair.proposed : pair.baseline;
+      cells.push_back(pair.proposed_v2 != nullptr ? fmt_fixed(pair.proposed_v2->cycles, 0) : "-");
+      cells.push_back(pair.proposed_v2 != nullptr && v2_base != nullptr
+                          ? fmt_speedup(v2_base->cycles / pair.proposed_v2->cycles)
                           : "-");
     }
     table.add_row(cells);
@@ -493,7 +525,7 @@ int cmd_report(int argc, char** argv) {
 bool is_subcommand(const char* s) {
   return std::strcmp(s, "run") == 0 || std::strcmp(s, "sweep") == 0 ||
          std::strcmp(s, "merge") == 0 || std::strcmp(s, "list-workloads") == 0 ||
-         std::strcmp(s, "report") == 0;
+         std::strcmp(s, "list-algorithms") == 0 || std::strcmp(s, "report") == 0;
 }
 
 }  // namespace
@@ -518,6 +550,7 @@ int main(int argc, char** argv) {
       if (std::strcmp(cmd, "sweep") == 0) return cmd_sweep(nrest, rest);
       if (std::strcmp(cmd, "merge") == 0) return cmd_merge(nrest, rest);
       if (std::strcmp(cmd, "list-workloads") == 0) return cmd_list_workloads(nrest, rest);
+      if (std::strcmp(cmd, "list-algorithms") == 0) return cmd_list_algorithms(nrest, rest);
       return cmd_report(nrest, rest);
     }
     // Historical interface: flags + a .s file, no subcommand.
