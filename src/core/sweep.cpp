@@ -9,6 +9,7 @@
 #include "common/format.h"
 #include "common/json.h"
 #include "core/algorithm_registry.h"
+#include "fsim/engine.h"
 
 namespace indexmac::core {
 namespace {
@@ -141,8 +142,8 @@ SweepSpec parse_sweep_spec(const std::string& json_text) {
 
   static const char* kKnown[] = {"name",     "workloads", "sparsities", "algorithms",
                                  "unroll",   "dataflows", "tile_rows",  "mode",
-                                 "seed",     "sample_rows", "sample_full_strips",
-                                 "processor"};
+                                 "engine",   "seed",      "sample_rows",
+                                 "sample_full_strips",    "processor"};
   for (const auto& [key, value] : doc.members()) {
     bool known = false;
     for (const char* k : kKnown) known = known || key == k;
@@ -181,6 +182,7 @@ SweepSpec parse_sweep_spec(const std::string& json_text) {
                "sweep spec: tile_rows must be in [1,16] (register-file bound), got " +
                    std::to_string(t));
   if (const JsonValue* v = doc.get("mode")) spec.mode = parse_mode(v->as_string());
+  if (const JsonValue* v = doc.get("engine")) spec.engine = parse_exec_engine(v->as_string());
   if (spec.mode == SweepMode::kSampled)
     for (const Algorithm alg : spec.algorithms) {
       const AlgorithmDescriptor& d = AlgorithmRegistry::instance().by_algorithm(alg);
@@ -258,6 +260,7 @@ std::vector<SweepPoint> expand_sweep(const SweepSpec& spec) {
                 p.config.kernel.unroll = unroll;
                 p.config.kernel.dataflow = df;
                 p.config.tile_rows = tile;
+                p.config.engine = spec.engine;
                 p.mode = spec.mode;
                 out.push_back(std::move(p));
               }

@@ -1,0 +1,23 @@
+// Functional-execution engine selection. The interpreter (fsim::Machine)
+// is the golden model; the threaded-code engine (fsim::ThreadedEngine)
+// produces bit-identical architectural results faster. The choice is a
+// simulator implementation detail: it never enters sweep cache keys or
+// report bytes, and both engines must render byte-identical golden output.
+#pragma once
+
+#include <string>
+
+namespace indexmac {
+
+enum class ExecEngine {
+  kInterp,    ///< Machine::step interpreter (golden reference)
+  kThreaded,  ///< predecoded threaded-code blocks + fused superblocks
+};
+
+/// Stable CLI/JSON name ("interp" / "threaded").
+[[nodiscard]] const char* exec_engine_name(ExecEngine engine);
+
+/// Parses an engine name; throws SimError listing the valid names.
+[[nodiscard]] ExecEngine parse_exec_engine(const std::string& text);
+
+}  // namespace indexmac

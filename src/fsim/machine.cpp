@@ -61,10 +61,13 @@ Machine::Machine(const Program& program, MainMemory& memory)
 }
 
 StopReason Machine::step() {
-  const std::uint64_t offset = state_.pc - base_;  // wraps huge when pc < base
-  if (offset >= code_bytes_ || (offset & 3) != 0)
-    raise("functional execution left the program: " + describe_pc(program_, state_.pc));
-  const std::size_t slot = offset >> 2;
+  // Explicit out-of-range fault: a pc below the program base (stray jump
+  // through a cleared register, a negative branch out of the prologue) must
+  // not reach the slot computation via unsigned wraparound of pc - base_.
+  const std::uint64_t pc = state_.pc;
+  if (pc < base_ || pc - base_ >= code_bytes_ || ((pc - base_) & 3) != 0)
+    raise("functional execution left the program: " + describe_pc(program_, pc));
+  const std::size_t slot = (pc - base_) >> 2;
   const Instruction& inst = code_[slot];
   const std::uint64_t next_pc = state_.pc + 4;
   // The halt ops are the only ones that stop execution; predecode flags

@@ -77,6 +77,12 @@ class Machine {
   void set_marker_hook(std::function<void(int)> hook) { marker_hook_ = std::move(hook); }
 
  private:
+  // The threaded-code engine (fsim/threaded.h) executes pre-bound operation
+  // records against this machine's architectural state and delegates
+  // unsupported corners back to step(); it needs the same private view of
+  // state/ssr/retired the interpreter has.
+  friend class ThreadedEngine;
+
   void exec(const isa::Instruction& inst, std::uint64_t next_pc);
   /// Pops the next 32-bit word from stream `sid`, advancing and wrapping at
   /// the configured length. SimError if the stream is disabled or empty.

@@ -1,0 +1,76 @@
+// Threaded-code execution engine over a functional Machine.
+//
+// The interpreter pays a bounds check, a table lookup and a ~60-way decode
+// switch per dynamic instruction. This engine predecodes each basic block
+// of the (immutable) Program once into a cached sequence of pre-bound
+// operation records — operands, sign-extended immediates and pc-relative
+// targets resolved at build time — and then dispatches through stored
+// function pointers, one block at a time. On top of the block cache,
+// straight-line runs of the three hot inner-loop shapes (the Algorithm
+// 2/3/4 index-extract -> MAC -> slide chains) are fused into native C++
+// loops ("superblocks") that track slid registers as element offsets
+// instead of copying 16 lanes per slide.
+//
+// Correctness contract: every observable effect — architectural state,
+// memory contents, instructions_retired, marker-hook calls, stop reasons
+// and SimError text — is bit-identical to running the same program through
+// Machine::step. Anything outside the fast path falls back to the
+// interpreter: SSR stream ops and illegal encodings execute via
+// Machine::step, a chain whose runtime-resolved VRF row carries a pending
+// deferred slide replays its original per-op records, and out-of-range pcs
+// delegate to Machine::step so the fault text matches exactly.
+//
+// Block predecode is keyed by pc slot against the Program the Machine was
+// constructed with; Programs are immutable after construction, so the
+// cache never needs invalidation within a Machine's lifetime.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "fsim/engine.h"
+#include "fsim/machine.h"
+
+namespace indexmac {
+
+/// Threaded-code executor bound to one Machine. The Machine remains the
+/// owner of all architectural state; this engine is a faster stepper over
+/// it, and interleaving ThreadedEngine and Machine::step calls is safe.
+class ThreadedEngine {
+ public:
+  explicit ThreadedEngine(Machine& machine);
+  ~ThreadedEngine();
+
+  ThreadedEngine(const ThreadedEngine&) = delete;
+  ThreadedEngine& operator=(const ThreadedEngine&) = delete;
+
+  /// Runs until ebreak/ecall or `max_steps`, like Machine::run. Blocks
+  /// whose instruction count exceeds the remaining budget execute through
+  /// the interpreter so the stopping point is instruction-exact.
+  StopReason run(std::uint64_t max_steps = 100'000'000);
+
+  /// Executes exactly one instruction through the pre-bound handler for
+  /// its pc slot (superblocks are not used here), with Machine::step's
+  /// exact observable semantics. This is what trace-driven timing runs use
+  /// under --engine=threaded: the per-instruction DynInst stream must be
+  /// identical to the interpreter's.
+  StopReason step();
+
+  /// Execution counters (diagnostics; not architectural state).
+  struct Stats {
+    std::uint64_t blocks_built = 0;     ///< basic blocks predecoded
+    std::uint64_t block_runs = 0;       ///< whole-block executions
+    std::uint64_t superblock_macs = 0;  ///< MAC ops retired through fused chains
+    std::uint64_t chain_bails = 0;      ///< chains replayed per-op (alias/vl guard)
+    std::uint64_t fallback_steps = 0;   ///< instructions delegated to Machine::step
+  };
+  [[nodiscard]] const Stats& stats() const;
+
+  [[nodiscard]] Machine& machine();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace indexmac

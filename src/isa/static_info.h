@@ -41,6 +41,11 @@ enum : std::uint32_t {
   kSiDualMac = 1u << 21,       ///< v(f)indexmac2: two MAC ops per dispatch
   kSiSsrMac = 1u << 22,        ///< v(f)indexmacs: operands pop from SSR streams
   kSiSsrCtl = 1u << 23,        ///< ssrcfg/ssren: stream state-machine control
+  // Closure-binding table for the threaded-code engine (fsim/threaded.h):
+  // predecoded so the block builder classifies slots by flag test instead
+  // of re-enumerating op lists.
+  kSiThreadedFallback = 1u << 24,  ///< threaded engine delegates to Machine::step
+  kSiChainFusable = 1u << 25,      ///< candidate for superblock chain fusion
 };
 
 /// Vector-engine latency class; the timing model resolves each class to a

@@ -96,6 +96,48 @@ void MainMemory::write_f32(std::uint64_t addr, float v) {
   write_u32(addr, raw);
 }
 
+void MainMemory::read_u32_block(std::uint64_t addr, std::uint32_t* out, std::size_t count) const {
+  const std::uint64_t offset = addr % kPageBytes;
+  if (count > 0 && offset + 4 * count <= kPageBytes) {
+    const Page* p = find_page(addr);
+    if (p == nullptr) {
+      for (std::size_t i = 0; i < count; ++i) out[i] = 0;
+      return;
+    }
+    const std::uint8_t* b = p->data() + offset;
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(out, b, 4 * count);  // pages hold LE bytes: words verbatim
+      return;
+    }
+    for (std::size_t i = 0; i < count; ++i, b += 4)
+      out[i] = static_cast<std::uint32_t>(b[0]) | static_cast<std::uint32_t>(b[1]) << 8 |
+               static_cast<std::uint32_t>(b[2]) << 16 | static_cast<std::uint32_t>(b[3]) << 24;
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) out[i] = read_u32(addr + 4 * i);
+}
+
+void MainMemory::write_u32_block(std::uint64_t addr, const std::uint32_t* data,
+                                 std::size_t count) {
+  const std::uint64_t offset = addr % kPageBytes;
+  if (count > 0 && offset + 4 * count <= kPageBytes) {
+    std::uint8_t* b = page_for(addr).data() + offset;
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(b, data, 4 * count);
+      return;
+    }
+    for (std::size_t i = 0; i < count; ++i, b += 4) {
+      const std::uint32_t v = data[i];
+      b[0] = static_cast<std::uint8_t>(v);
+      b[1] = static_cast<std::uint8_t>(v >> 8);
+      b[2] = static_cast<std::uint8_t>(v >> 16);
+      b[3] = static_cast<std::uint8_t>(v >> 24);
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) write_u32(addr + 4 * i, data[i]);
+}
+
 void MainMemory::write_bytes(std::uint64_t addr, std::span<const std::uint8_t> data) {
   for (std::size_t i = 0; i < data.size(); ++i) write_u8(addr + i, data[i]);
 }

@@ -3,6 +3,7 @@
 // compute *when* an access completes; this class holds *what* the bytes are.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -40,6 +41,14 @@ class MainMemory {
   void write_bytes(std::uint64_t addr, std::span<const std::uint8_t> data);
   /// Bulk copy out of memory.
   void read_bytes(std::uint64_t addr, std::span<std::uint8_t> out) const;
+
+  /// Bulk 32-bit-word transfers for the threaded engine's vector load/store
+  /// handlers: one page lookup covers the whole run when the range stays
+  /// inside a page (the common case for 64-byte-aligned operand streams),
+  /// falling back to per-word accesses across page boundaries. Results are
+  /// bit-identical to `count` read_u32/write_u32 calls.
+  void read_u32_block(std::uint64_t addr, std::uint32_t* out, std::size_t count) const;
+  void write_u32_block(std::uint64_t addr, const std::uint32_t* data, std::size_t count);
 
   /// Convenience for fp32/int32 arrays (the only element types used).
   void write_f32s(std::uint64_t addr, std::span<const float> data);

@@ -1,10 +1,12 @@
 #include "timing/timing_sim.h"
 
 #include <array>
+#include <memory>
 
 #include "common/bitutil.h"
 #include "common/error.h"
 #include "fsim/machine.h"
+#include "fsim/threaded.h"
 #include "timing/port_scheduler.h"
 #include "timing/trace.h"
 
@@ -26,10 +28,12 @@ struct PendingStore {
 class Model {
  public:
   Model(const Program& program, MainMemory& memory, const ProcessorConfig& config,
-        TimingStats& stats, std::vector<MarkerEvent>& markers)
+        ExecEngine engine, TimingStats& stats, std::vector<MarkerEvent>& markers)
       : config_(config),
         machine_(program, memory),
-        trace_(machine_),
+        engine_(engine == ExecEngine::kThreaded ? std::make_unique<ThreadedEngine>(machine_)
+                                                : nullptr),
+        trace_(machine_, engine_.get()),
         mem_(config.memory),
         fetch_ports_(config.scalar.fetch_width),
         issue_ports_(config.scalar.issue_width),
@@ -199,7 +203,13 @@ class Model {
       const std::uint64_t issue = issue_ports_.claim(std::max(disp, srcs));
       const std::uint64_t done = issue + config_.scalar.alu_latency;
       last_ssr_ctl_done_ = std::max(last_ssr_ctl_done_, done);
-      ssr_line_valid_[0] = ssr_line_valid_[1] = false;  // drop buffered lines
+      // Drop buffered lines only for the streams this op reprograms
+      // (DynInst::ssr_ctl_mask): configuring or re-enabling a stream moves
+      // its address generator, so the held line must be refetched, but
+      // setup traffic on the *other* streams must not flush lines an
+      // active stream is still amortizing pops against.
+      for (unsigned s = 0; s < ssr_line_valid_.size(); ++s)
+        if ((d.ssr_ctl_mask >> s) & 1) ssr_line_valid_[s] = false;
       return done;
     }
 
@@ -341,6 +351,7 @@ class Model {
 
   ProcessorConfig config_;
   Machine machine_;
+  std::unique_ptr<ThreadedEngine> engine_;  ///< present under ExecEngine::kThreaded
   TraceSource trace_;
   MemorySystem mem_;
   PortScheduler fetch_ports_;
@@ -383,13 +394,14 @@ class Model {
 
 }  // namespace
 
-TimingSim::TimingSim(const Program& program, MainMemory& memory, const ProcessorConfig& config)
-    : program_(program), memory_(memory), config_(config) {}
+TimingSim::TimingSim(const Program& program, MainMemory& memory, const ProcessorConfig& config,
+                     ExecEngine engine)
+    : program_(program), memory_(memory), config_(config), engine_(engine) {}
 
 const TimingStats& TimingSim::run(std::uint64_t max_instructions) {
   IMAC_CHECK(!ran_, "TimingSim::run may only be called once per instance");
   ran_ = true;
-  Model model(program_, memory_, config_, stats_, markers_);
+  Model model(program_, memory_, config_, engine_, stats_, markers_);
   model.run(max_instructions);
   return stats_;
 }

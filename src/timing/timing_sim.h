@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "asm/program.h"
+#include "fsim/engine.h"
 #include "mem/main_memory.h"
 #include "mem/memory_system.h"
 #include "timing/config.h"
@@ -76,7 +77,12 @@ struct TimingStats {
 /// Timing simulator for one program execution.
 class TimingSim {
  public:
-  TimingSim(const Program& program, MainMemory& memory, const ProcessorConfig& config);
+  /// `engine` selects how the trace-driving functional simulation advances
+  /// (interpreter or threaded-code stepper). Cycle counts and every other
+  /// statistic are identical either way — the trace stream is bit-equal by
+  /// the engines' correctness contract — so the choice is pure speed.
+  TimingSim(const Program& program, MainMemory& memory, const ProcessorConfig& config,
+            ExecEngine engine = ExecEngine::kInterp);
 
   /// Runs to completion (ebreak/ecall). Throws SimError if the instruction
   /// budget is exhausted first (runaway program).
@@ -90,6 +96,7 @@ class TimingSim {
   const Program& program_;
   MainMemory& memory_;
   ProcessorConfig config_;
+  ExecEngine engine_;
   TimingStats stats_;
   std::vector<MarkerEvent> markers_;
   bool ran_ = false;

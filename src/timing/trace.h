@@ -15,6 +15,7 @@
 
 #include "common/error.h"
 #include "fsim/machine.h"
+#include "fsim/threaded.h"
 #include "isa/isa.h"
 #include "isa/static_info.h"
 
@@ -39,13 +40,24 @@ struct DynInst {
   std::uint32_t gather_count = 0;   ///< vluxei32: number of element addresses
   const std::uint64_t* gather_addrs = nullptr;  ///< vluxei32: per-element addresses
   std::int32_t marker_id = -1;      ///< markers: id, else -1
+  /// ssrcfg/ssren: bit s set iff this op reprograms stream s's address
+  /// generator (ssrcfg: the stream named by rd; ssren: the streams being
+  /// enabled, which rewind to their base). Timing uses this to invalidate
+  /// only the affected streams' line buffers.
+  std::uint8_t ssr_ctl_mask = 0;
 };
 
 /// Pulls dynamic instructions from a functional Machine, one per step.
 class TraceSource {
  public:
-  explicit TraceSource(Machine& machine)
+  /// `stepper`, when non-null, replaces Machine::step as the advance
+  /// mechanism (--engine=threaded): it must be bound to `machine`, and its
+  /// step() contract guarantees the observable per-instruction stream —
+  /// and therefore every DynInst this source produces — is identical to
+  /// the interpreter's.
+  explicit TraceSource(Machine& machine, ThreadedEngine* stepper = nullptr)
       : machine_(machine),
+        stepper_(stepper),
         code_(machine.program().decoded().data()),
         info_(machine.program().static_info().data()),
         base_(machine.program().base()),
@@ -60,8 +72,8 @@ class TraceSource {
     if (done_) return false;
     const ArchState& pre = machine_.state();
     const std::uint64_t pc = pre.pc;
-    const std::uint64_t offset = pc - base_;  // wraps huge when pc < base
-    if (offset >= code_bytes_ || (offset & 3) != 0)
+    const std::uint64_t offset = pc - base_;
+    if (pc < base_ || offset >= code_bytes_ || (offset & 3) != 0)
       raise("trace: " + describe_pc(machine_.program(), pc));
     const std::size_t slot = offset >> 2;
     const isa::Instruction& in = code_[slot];
@@ -79,6 +91,7 @@ class TraceSource {
     out.gather_count = 0;
     out.gather_addrs = gather_scratch_.data();
     out.marker_id = -1;
+    out.ssr_ctl_mask = 0;
     if (si.has(isa::kSiGather)) {
       const std::uint64_t base = pre.x[in.rs1];
       for (unsigned i = 0; i < pre.vl; ++i) gather_scratch_[i] = base + pre.v[in.rs2][i];
@@ -109,10 +122,14 @@ class TraceSource {
       if (streams[1].enabled && streams[1].count != 0)
         out.indirect_vreg = static_cast<std::uint8_t>(
             machine_.memory().read_u32(out.ssr_index_addr) & 0x1f);
+    } else if (si.has(isa::kSiSsrCtl)) {
+      out.ssr_ctl_mask = in.op == isa::Op::kSsrCfg
+                             ? static_cast<std::uint8_t>(1u << in.rd)
+                             : static_cast<std::uint8_t>(pre.x[in.rs1] & 0xf);
     } else if (si.has(isa::kSiMarker)) {
       out.marker_id = in.imm;
     }
-    const StopReason stop = machine_.step();
+    const StopReason stop = stepper_ ? stepper_->step() : machine_.step();
     out.branch_taken =
         si.has(isa::kSiBranch | isa::kSiJump) && machine_.state().pc != pc + 4;
     out.is_halt = stop == StopReason::kEbreak || stop == StopReason::kEcall;
@@ -122,6 +139,7 @@ class TraceSource {
 
  private:
   Machine& machine_;
+  ThreadedEngine* stepper_;
   const isa::Instruction* code_;
   const isa::StaticInstInfo* info_;
   std::uint64_t base_;

@@ -318,6 +318,140 @@ TEST(Timing, InstructionBudgetGuard) {
   EXPECT_THROW((void)sim.run(1000), SimError);
 }
 
+// ---------- SSR stream-control line-buffer invalidation ----------
+
+/// Streams 0/1 configured over one 64 B line each (4 value/index pairs),
+/// two streaming MACs, `tweak(a)` injected, then two more MACs. The index
+/// words name v8 so the MACs resolve a valid VRF row.
+template <typename Tweak>
+TimingStats ssr_mac_stats(Tweak&& tweak) {
+  Assembler a;
+  a.li(x(1), 16);
+  a.vsetvli_e32m1(x(0), x(1));
+  a.vmv_v_i(v(2), 0);
+  a.vmv_v_i(v(8), 0);
+  a.li(x(3), 0x2000);  // value stream
+  a.li(x(4), 0x3000);  // index stream
+  a.li(x(5), 4);
+  a.ssrcfg(0, x(3), x(5));
+  a.ssrcfg(1, x(4), x(5));
+  a.li(x(5), 0b11);
+  a.ssren(x(5));
+  a.vindexmacs_v(v(2));
+  a.vindexmacs_v(v(2));
+  tweak(a);
+  a.vindexmacs_v(v(2));
+  a.vindexmacs_v(v(2));
+  a.ebreak();
+  Program p = a.finish();
+  MainMemory mem;
+  for (int i = 0; i < 4; ++i) {
+    mem.write_u32(0x2000 + 4 * i, 0);  // values (bits irrelevant to timing)
+    mem.write_u32(0x3000 + 4 * i, 8);  // indices -> v8
+  }
+  TimingSim sim(p, mem, ProcessorConfig{});
+  return sim.run();
+}
+
+TEST(Timing, UnrelatedStreamConfigKeepsLineBuffers) {
+  // Regression: ssrcfg on streams 2/3 between streaming MACs used to flush
+  // the line buffers of streams 0/1 too, charging refetches the hardware's
+  // per-stream address generators would never issue. Setup traffic on
+  // other streams must leave the active pair's amortization intact.
+  const TimingStats plain = ssr_mac_stats([](Assembler&) {});
+  const TimingStats tweaked = ssr_mac_stats([](Assembler& a) {
+    a.li(x(6), 0x5000);
+    a.li(x(7), 4);
+    a.ssrcfg(2, x(6), x(7));
+    a.ssrcfg(3, x(6), x(7));
+  });
+  EXPECT_EQ(tweaked.vector_loads, plain.vector_loads);
+  EXPECT_EQ(tweaked.mem.vector_reads, plain.mem.vector_reads);
+}
+
+TEST(Timing, ReenableForcesStreamLineRefetch) {
+  // ssren re-enabling streams 0/1 rewinds their address generators to
+  // base: the held lines must be refetched (one per stream).
+  const TimingStats plain = ssr_mac_stats([](Assembler&) {});
+  const TimingStats rewound = ssr_mac_stats([](Assembler& a) {
+    a.li(x(5), 0b11);
+    a.ssren(x(5));
+  });
+  EXPECT_EQ(rewound.vector_loads, plain.vector_loads + 2);
+}
+
+TEST(Timing, ReconfiguringActiveStreamDropsOnlyThatLine) {
+  // ssrcfg on stream 0 alone re-fetches stream 0's line but keeps stream
+  // 1's buffer (before the fix both were flushed: +2 loads, not +1).
+  const TimingStats plain = ssr_mac_stats([](Assembler&) {});
+  const TimingStats recfg = ssr_mac_stats([](Assembler& a) {
+    a.li(x(6), 0x2008);  // re-point stream 0 inside the same line
+    a.li(x(7), 2);
+    a.ssrcfg(0, x(6), x(7));
+  });
+  EXPECT_EQ(recfg.vector_loads, plain.vector_loads + 1);
+}
+
+// ---------- execution-engine parity ----------
+
+TEST(Timing, ThreadedEngineProducesIdenticalStatsAndMarkers) {
+  // The --engine choice changes only how the trace-driving functional
+  // simulation advances; every cycle count, stall bucket, memory counter
+  // and marker must be identical.
+  Assembler a;
+  a.li(x(1), 16);
+  a.vsetvli_e32m1(x(0), x(1));
+  a.vmv_v_i(v(2), 0);
+  a.vmv_v_i(v(4), 0);
+  a.li(x(2), 0x2000);
+  a.vle32(v(8), x(2));
+  a.marker(1);
+  auto loop = a.new_label();
+  a.li(x(31), 5);
+  a.bind(loop);
+  a.vmv_x_s(x(5), v(4));
+  a.andi(x(5), x(5), 7);
+  a.vindexmac_vx(v(2), v(4), x(5));
+  a.vslide1down_vx(v(4), v(4), x(0));
+  a.addi(x(31), x(31), -1);
+  a.bne(x(31), x(0), loop);
+  a.marker(2);
+  a.vse32(v(2), x(2));
+  a.ebreak();
+  Program p = a.finish();
+
+  MainMemory imem;
+  TimingSim isim(p, imem, ProcessorConfig{}, ExecEngine::kInterp);
+  const TimingStats is = isim.run();
+
+  MainMemory tmem;
+  TimingSim tsim(p, tmem, ProcessorConfig{}, ExecEngine::kThreaded);
+  const TimingStats ts = tsim.run();
+
+  EXPECT_EQ(ts.cycles, is.cycles);
+  EXPECT_EQ(ts.instructions, is.instructions);
+  EXPECT_EQ(ts.scalar_instructions, is.scalar_instructions);
+  EXPECT_EQ(ts.vector_instructions, is.vector_instructions);
+  EXPECT_EQ(ts.vector_loads, is.vector_loads);
+  EXPECT_EQ(ts.vector_stores, is.vector_stores);
+  EXPECT_EQ(ts.vector_macs, is.vector_macs);
+  EXPECT_EQ(ts.vector_to_scalar_moves, is.vector_to_scalar_moves);
+  EXPECT_EQ(ts.branch_mispredicts, is.branch_mispredicts);
+  EXPECT_EQ(ts.dispatch_stalls.scalar_operand, is.dispatch_stalls.scalar_operand);
+  EXPECT_EQ(ts.dispatch_stalls.branch_shadow, is.dispatch_stalls.branch_shadow);
+  EXPECT_EQ(ts.dispatch_stalls.queue_full, is.dispatch_stalls.queue_full);
+  EXPECT_EQ(ts.dispatch_stalls.bandwidth, is.dispatch_stalls.bandwidth);
+  EXPECT_EQ(ts.mem.data_accesses(), is.mem.data_accesses());
+  EXPECT_EQ(ts.mem.dram_lines, is.mem.dram_lines);
+
+  ASSERT_EQ(tsim.markers().size(), isim.markers().size());
+  for (std::size_t i = 0; i < isim.markers().size(); ++i) {
+    EXPECT_EQ(tsim.markers()[i].id, isim.markers()[i].id);
+    EXPECT_EQ(tsim.markers()[i].cycle, isim.markers()[i].cycle);
+    EXPECT_EQ(tsim.markers()[i].instructions, isim.markers()[i].instructions);
+  }
+}
+
 TEST(Timing, ConfigDescribeMentionsTableOneNumbers) {
   const std::string text = ProcessorConfig{}.describe();
   EXPECT_NE(text.find("8-way-issue out-of-order"), std::string::npos);

@@ -5,9 +5,16 @@ Usage: check_throughput.py CURRENT.json BASELINE.json [--max-drop PCT]
 
 Prints a per-scenario table and emits a GitHub Actions ::warning
 annotation for every scenario whose MIPS dropped more than --max-drop
-percent (default 20) below the baseline. Always exits 0: the check is a
-soft gate — CI hardware varies, so regressions warn rather than fail,
-and the uploaded BENCH_sim_throughput.json artifact carries the numbers.
+percent (default 20) below the baseline. Scenarios are compared over the
+union of both reports: a scenario missing from the current run warns
+(coverage lost), and a scenario missing from the baseline warns too — a
+newly added scenario is unguarded until the baseline file is bumped, and
+the old behaviour of silently skipping it meant regressions in new
+scenarios could never fire. A baseline entry with zero/negative MIPS is
+malformed (a percent delta against it is undefined) and warns instead of
+dividing by zero. Always exits 0: the check is a soft gate — CI hardware
+varies, so regressions warn rather than fail, and the uploaded
+BENCH_sim_throughput.json artifact carries the numbers.
 """
 
 import argparse
@@ -18,7 +25,60 @@ import sys
 def load(path):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
-    return {s["name"]: s for s in doc.get("scenarios", [])}, doc
+    return doc
+
+
+def scenario_map(doc):
+    return {s["name"]: s for s in doc.get("scenarios", [])}
+
+
+def compare(current_doc, baseline_doc, max_drop):
+    """Compares the two parsed reports. Returns (lines, warnings): the
+    table/annotation output as a list of strings, and the warning count.
+    Pure function of its inputs so tests can drive it without files."""
+    current = scenario_map(current_doc)
+    baseline = scenario_map(baseline_doc)
+
+    lines = []
+    warnings = 0
+
+    def warn(message):
+        nonlocal warnings
+        lines.append(f"::warning::{message}")
+        warnings += 1
+
+    lines.append(f"{'scenario':<20} {'baseline':>10} {'current':>10} {'delta':>8}")
+    # Union of both reports, baseline order first, then current-only
+    # scenarios in report order.
+    names = list(baseline) + [n for n in current if n not in baseline]
+    for name in names:
+        base = baseline.get(name)
+        cur = current.get(name)
+        if cur is None:
+            lines.append(f"{name:<20} {base['mips']:>10.2f} {'missing':>10}")
+            warn(f"sim_throughput scenario '{name}' missing from current run")
+            continue
+        if base is None:
+            lines.append(f"{name:<20} {'missing':>10} {cur['mips']:>10.2f}")
+            warn(f"sim_throughput scenario '{name}' has no baseline entry "
+                 f"(bump bench/sim_throughput_baseline.json to guard it)")
+            continue
+        if base["mips"] <= 0:
+            lines.append(f"{name:<20} {base['mips']:>10.2f} {cur['mips']:>10.2f}")
+            warn(f"sim_throughput baseline for '{name}' is {base['mips']:.2f} MIPS; "
+                 f"delta undefined (malformed baseline entry?)")
+            continue
+        delta = (cur["mips"] - base["mips"]) / base["mips"] * 100.0
+        lines.append(f"{name:<20} {base['mips']:>10.2f} {cur['mips']:>10.2f} {delta:>+7.1f}%")
+        if delta < -max_drop:
+            warn(f"sim_throughput regression: {name} at {cur['mips']:.2f} MIPS, "
+                 f"{-delta:.1f}% below the {base['mips']:.2f} MIPS baseline "
+                 f"(threshold {max_drop:.0f}%)")
+    sweep = current_doc.get("canonical_sweep_seconds")
+    if sweep is not None:
+        lines.append(f"{'tiny_sweep':<20} {'':>10} {sweep:>9.4f}s")
+    lines.append(f"{warnings} warning(s)")
+    return lines, warnings
 
 
 def main():
@@ -29,29 +89,9 @@ def main():
                         help="warn when MIPS drops more than this percent")
     args = parser.parse_args()
 
-    current, current_doc = load(args.current)
-    baseline, _ = load(args.baseline)
-
-    warnings = 0
-    print(f"{'scenario':<16} {'baseline':>10} {'current':>10} {'delta':>8}")
-    for name, base in baseline.items():
-        cur = current.get(name)
-        if cur is None:
-            print(f"{name:<16} {base['mips']:>10.2f} {'missing':>10}")
-            print(f"::warning::sim_throughput scenario '{name}' missing from current run")
-            warnings += 1
-            continue
-        delta = (cur["mips"] - base["mips"]) / base["mips"] * 100.0
-        print(f"{name:<16} {base['mips']:>10.2f} {cur['mips']:>10.2f} {delta:>+7.1f}%")
-        if delta < -args.max_drop:
-            print(f"::warning::sim_throughput regression: {name} at {cur['mips']:.2f} MIPS, "
-                  f"{-delta:.1f}% below the {base['mips']:.2f} MIPS baseline "
-                  f"(threshold {args.max_drop:.0f}%)")
-            warnings += 1
-    sweep = current_doc.get("canonical_sweep_seconds")
-    if sweep is not None:
-        print(f"{'tiny_sweep':<16} {'':>10} {sweep:>9.4f}s")
-    print(f"{warnings} warning(s)")
+    lines, _ = compare(load(args.current), load(args.baseline), args.max_drop)
+    for line in lines:
+        print(line)
     return 0
 
 

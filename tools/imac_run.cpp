@@ -36,7 +36,9 @@
 #include "core/batch.h"
 #include "core/result_store.h"
 #include "core/sweep.h"
+#include "fsim/engine.h"
 #include "fsim/machine.h"
+#include "fsim/threaded.h"
 #include "fsim/tracer.h"
 #include "timing/timing_sim.h"
 #include "workloads/workloads.h"
@@ -49,15 +51,19 @@ void usage(std::FILE* out) {
                "usage: imac_run <subcommand> [args]\n"
                "\n"
                "subcommands:\n"
-               "  run [--timing] [--trace] [--max-steps N] [--dump-regs] [--threads N] file.s\n"
+               "  run [--timing] [--trace] [--max-steps N] [--dump-regs] [--threads N]\n"
+               "      [--engine interp|threaded] file.s\n"
                "      Assembles file.s (the library's RISC-V subset, including\n"
                "      vindexmac.vx) and executes it; programs halt with ebreak.\n"
                "      --timing       run on the cycle-level timing model\n"
                "      --trace        print each executed instruction (functional mode)\n"
                "      --max-steps N  stop after N instructions (default 100000000)\n"
                "      --dump-regs    print architectural registers on exit\n"
+               "      --engine E     functional engine: \"interp\" (default) or\n"
+               "                     \"threaded\" (predecoded threaded code; identical\n"
+               "                     results, faster; --trace requires interp)\n"
                "  sweep --spec spec.json [--out file] [--format csv|json] [--threads N]\n"
-               "        [--store DIR] [--resume] [--shard i/N]\n"
+               "        [--store DIR] [--resume] [--shard i/N] [--engine interp|threaded]\n"
                "      Runs the sweep described by spec.json (see README: sweep specs)\n"
                "      on a parallel BatchRunner pool and writes the report to stdout\n"
                "      or --out.\n"
@@ -68,6 +74,8 @@ void usage(std::FILE* out) {
                "      --shard i/N   run only shard i of N: points are partitioned by\n"
                "                    digest (fnv1a(key) %% N == i-1), so N processes with\n"
                "                    disjoint shards cover the grid exactly once\n"
+               "      --engine E    override the spec's functional engine (reports and\n"
+               "                    cache keys are engine-independent by construction)\n"
                "  merge --spec spec.json [--store DIR]... [--out file] [--format csv|json]\n"
                "        [shard.csv]...\n"
                "      Fuses shard stores and/or shard CSV reports into the canonical\n"
@@ -113,6 +121,7 @@ int cmd_run(int argc, char** argv) {
   bool trace = false;
   bool dump_regs = false;
   std::uint64_t max_steps = 100'000'000;
+  ExecEngine engine = ExecEngine::kInterp;
   const char* path = nullptr;
 
   for (int i = 0; i < argc; ++i) {
@@ -121,6 +130,8 @@ int cmd_run(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--dump-regs") == 0) dump_regs = true;
     else if (std::strcmp(argv[i], "--max-steps") == 0 && i + 1 < argc)
       max_steps = std::strtoull(argv[++i], nullptr, 10);
+    else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc)
+      engine = parse_exec_engine(argv[++i]);  // throws SimError listing names
     else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
       // Throws SimError (caught in main) on anything outside [1, 1024].
       core::BatchRunner::set_thread_override(core::BatchRunner::parse_thread_count(argv[++i]));
@@ -132,6 +143,12 @@ int cmd_run(int argc, char** argv) {
   }
   if (path == nullptr) {
     usage(stderr);
+    return 2;
+  }
+  if (trace && engine == ExecEngine::kThreaded) {
+    // The Tracer drives Machine::step itself; silently ignoring --engine
+    // would misreport what executed.
+    std::fprintf(stderr, "imac_run run: --trace requires --engine interp\n");
     return 2;
   }
 
@@ -149,7 +166,7 @@ int cmd_run(int argc, char** argv) {
 
   MainMemory mem;
   if (timing) {
-    timing::TimingSim sim(assembled.program, mem, timing::ProcessorConfig{});
+    timing::TimingSim sim(assembled.program, mem, timing::ProcessorConfig{}, engine);
     const timing::TimingStats& stats = sim.run(max_steps);
     std::printf("cycles: %llu  instructions: %llu  IPC: %.2f\n",
                 static_cast<unsigned long long>(stats.cycles),
@@ -174,6 +191,9 @@ int cmd_run(int argc, char** argv) {
     if (trace) {
       Tracer tracer(machine);
       stop = tracer.run(std::cout, max_steps);
+    } else if (engine == ExecEngine::kThreaded) {
+      ThreadedEngine threaded(machine);
+      stop = threaded.run(max_steps);
     } else {
       stop = machine.run(max_steps);
     }
@@ -225,6 +245,7 @@ int cmd_sweep(int argc, char** argv) {
   const char* out_path = nullptr;
   const char* store_dir = nullptr;
   const char* shard_text = nullptr;
+  const char* engine_text = nullptr;
   bool resume = false;
   bool json = false;
   unsigned threads = 0;
@@ -234,6 +255,7 @@ int cmd_sweep(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
     else if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc) store_dir = argv[++i];
     else if (std::strcmp(argv[i], "--shard") == 0 && i + 1 < argc) shard_text = argv[++i];
+    else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) engine_text = argv[++i];
     else if (std::strcmp(argv[i], "--resume") == 0) resume = true;
     else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       // Same strictness as INDEXMAC_THREADS (throws SimError on anything
@@ -264,7 +286,11 @@ int cmd_sweep(int argc, char** argv) {
     return 2;
   }
 
-  const core::SweepSpec spec = core::parse_sweep_spec_file(spec_path);
+  core::SweepSpec spec = core::parse_sweep_spec_file(spec_path);
+  // The CLI flag wins over the spec's "engine" key. Applied before
+  // expansion so every point's RunConfig carries it; cache keys and
+  // reports are unaffected by construction.
+  if (engine_text != nullptr) spec.engine = parse_exec_engine(engine_text);
   std::vector<core::SweepPoint> points = core::expand_sweep(spec);
   const std::size_t full_grid = points.size();
   if (shard_text != nullptr) {
