@@ -144,7 +144,8 @@ BatchResult run_job(const BatchJob& job) {
 
 std::vector<BatchResult> run_batch(
     BatchRunner& runner, const std::vector<BatchJob>& jobs,
-    const std::function<void(std::size_t, const BatchResult&)>& on_result) {
+    const std::function<void(std::size_t, const BatchResult&)>& on_result,
+    const std::atomic<bool>* cancel) {
   std::vector<std::future<BatchResult>> futures;
   futures.reserve(jobs.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -154,7 +155,12 @@ std::vector<BatchResult> run_batch(
     // smaller job that already finished. `on_result` and its targets
     // outlive the blocking collection loop below by construction.
     const BatchJob& job = jobs[i];
-    futures.push_back(runner.submit([job, i, &on_result] {
+    futures.push_back(runner.submit([job, i, &on_result, cancel] {
+      // The cancel check lives on the worker, not the submit loop: a
+      // signal that lands mid-batch skips everything still queued while
+      // jobs already executing finish and journal normally.
+      if (cancel != nullptr && cancel->load(std::memory_order_relaxed))
+        throw BatchCancelled("batch cancelled before this job started");
       BatchResult result = run_job(job);
       if (on_result) on_result(i, result);
       return result;
@@ -163,14 +169,22 @@ std::vector<BatchResult> run_batch(
 
   std::vector<BatchResult> results(jobs.size());
   std::exception_ptr first_error;
+  bool cancelled = false;
   for (std::size_t i = 0; i < futures.size(); ++i) {
     try {
       results[i] = futures[i].get();
+    } catch (const BatchCancelled&) {
+      cancelled = true;
     } catch (...) {
       if (!first_error) first_error = std::current_exception();
     }
   }
+  // A real job failure outranks the interrupt: it names a bug the user
+  // must see, while BatchCancelled only restates what they requested.
   if (first_error) std::rethrow_exception(first_error);
+  if (cancelled)
+    throw BatchCancelled("batch cancelled: jobs not yet started were skipped (completed "
+                         "results were delivered through on_result)");
   return results;
 }
 

@@ -15,6 +15,7 @@
 //   const auto results = run_batch(pool, jobs);  // results[i] <-> jobs[i]
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -31,6 +32,17 @@
 #include "core/spmm_problem.h"
 
 namespace indexmac::core {
+
+/// Thrown by run_batch when a cooperative cancel (SIGINT/SIGTERM in the
+/// CLI, shutdown in the orchestrator) was observed: jobs not yet started
+/// were skipped. Everything that DID finish was delivered through
+/// on_result first — with a journaling callback the batch is resumable.
+/// A distinct type so callers can turn an interrupt into a "resumable"
+/// exit without mistaking real job failures for it.
+class BatchCancelled : public SimError {
+ public:
+  explicit BatchCancelled(const std::string& what) : SimError(what) {}
+};
 
 /// Fixed-size worker pool for independent jobs. Tasks submitted after a
 /// task throws still run; the exception is delivered through that task's
@@ -152,9 +164,17 @@ struct BatchResult {
 /// keeps every job that finished, even while an earlier-submitted job is
 /// still running. `on_result` is never called for a job that threw; an
 /// exception thrown *by* the callback fails that job like a job error.
+///
+/// `cancel` (optional) is the graceful-interrupt hook: each job checks it
+/// immediately before running, and once it reads true, not-yet-started
+/// jobs are skipped while in-flight jobs run to completion and journal
+/// through on_result as usual. When any job was skipped, run_batch throws
+/// BatchCancelled after the batch drains (completed results having been
+/// delivered), so a --store'd sweep interrupt is resumable by rerun.
 [[nodiscard]] std::vector<BatchResult> run_batch(
     BatchRunner& runner, const std::vector<BatchJob>& jobs,
-    const std::function<void(std::size_t, const BatchResult&)>& on_result);
+    const std::function<void(std::size_t, const BatchResult&)>& on_result,
+    const std::atomic<bool>* cancel = nullptr);
 
 /// Convenience overload running on a temporary pool (0 = default size).
 [[nodiscard]] std::vector<BatchResult> run_batch(const std::vector<BatchJob>& jobs,

@@ -4,6 +4,10 @@
 #include <filesystem>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "common/bitutil.h"
 #include "common/error.h"
 
@@ -67,9 +71,22 @@ std::string encode_record(const std::string& key, const StoredResult& r) {
   return record;
 }
 
+/// fsync the buffered FILE: flush libc buffers, then push the kernel page
+/// cache to stable storage. No-op beyond fflush on platforms without
+/// fsync (the kFlush guarantee still holds there).
+bool flush_to_disk(std::FILE* file) {
+  if (std::fflush(file) != 0) return false;
+#if defined(__unix__) || defined(__APPLE__)
+  return ::fsync(::fileno(file)) == 0;
+#else
+  return true;
+#endif
+}
+
 }  // namespace
 
-ResultStore::ResultStore(const std::string& dir) {
+ResultStore::ResultStore(const std::string& dir, Durability durability)
+    : durability_(durability) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   IMAC_CHECK(!ec && std::filesystem::is_directory(dir),
@@ -197,11 +214,20 @@ void ResultStore::put(const std::string& key, const StoredResult& result) {
     return;  // identical re-put: nothing to journal
   }
   const std::string record = encode_record(key, result);
-  const bool ok = std::fwrite(record.data(), 1, record.size(), file_) == record.size() &&
-                  std::fflush(file_) == 0;
+  bool ok = std::fwrite(record.data(), 1, record.size(), file_) == record.size();
+  // The durability levels documented in the header: kFlush hands the
+  // record to the kernel (survives process death); kFsyncEach walks it all
+  // the way to stable storage before put() returns (survives power loss).
+  if (ok)
+    ok = durability_ == Durability::kFsyncEach ? flush_to_disk(file_) : std::fflush(file_) == 0;
   IMAC_CHECK(ok, "result store: append to " + path_ + " failed");
   results_.emplace(key, result);
   ++appended_;
+}
+
+void ResultStore::sync() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  IMAC_CHECK(flush_to_disk(file_), "result store: fsync of " + path_ + " failed");
 }
 
 std::size_t ResultStore::size() const {

@@ -18,6 +18,25 @@
 // is not recoverable and raises SimError, as does a journal that asserts
 // two different results for the same key (no silent wrong merges).
 //
+// Durability levels (chosen at open time; see Durability):
+//
+//   kFlush (default)  put() returns after fwrite + fflush: the record is
+//                     in the kernel page cache. Survives any death of THIS
+//                     PROCESS (kill -9, abort, crash) because the OS owns
+//                     the bytes — but NOT an OS crash or power loss, which
+//                     can lose any number of recent records (recovery then
+//                     still yields a valid prefix, just a shorter one).
+//   kFsyncEach        put() additionally fsync()s the journal before
+//                     returning: once put() (and therefore any lease ack
+//                     the orchestrator sends after it) completes, the
+//                     record survives power loss and host crashes. Costs
+//                     one disk flush per record; opt in for runs whose
+//                     points are expensive relative to an fsync.
+//
+//   sync() offers the intermediate point regardless of level: callers that
+//   batch cheap points under kFlush can fsync at their own barriers
+//   (shutdown, final report) without paying per-record latency.
+//
 // One store = one writer process. Shards must use separate stores (one per
 // shard) and be fused with merge tooling; see core/sweep.h.
 #pragma once
@@ -42,6 +61,13 @@ struct StoredResult {
   }
 };
 
+/// Crash-persistence guarantee of each appended record; see the header
+/// comment for the exact contract of each level.
+enum class Durability {
+  kFlush,      ///< fflush per record: survives process death only
+  kFsyncEach,  ///< + fsync per record: survives power loss / host crash
+};
+
 /// An open result store rooted at a directory. Thread-safe; find() and
 /// put() may race from BatchRunner result collection.
 class ResultStore {
@@ -51,7 +77,7 @@ class ResultStore {
   /// journal has a foreign magic/version, or replay finds conflicting
   /// records for one key. A truncated/corrupt tail is recovered by
   /// truncation (see dropped_bytes()).
-  explicit ResultStore(const std::string& dir);
+  explicit ResultStore(const std::string& dir, Durability durability = Durability::kFlush);
   ~ResultStore();
 
   ResultStore(const ResultStore&) = delete;
@@ -70,6 +96,14 @@ class ResultStore {
   /// concurrent put(); call only when no sweep is running on this store.
   [[nodiscard]] const std::map<std::string, StoredResult>& results() const { return results_; }
 
+  /// Forces every record appended so far onto stable storage (fflush +
+  /// fsync), regardless of the open-time durability level. The manual
+  /// barrier for kFlush stores: call at shutdown or before externally
+  /// acknowledging a batch of results.
+  void sync();
+
+  [[nodiscard]] Durability durability() const { return durability_; }
+
   [[nodiscard]] std::size_t size() const;
   /// Records replayed from disk when the store was opened.
   [[nodiscard]] std::uint64_t loaded() const { return loaded_; }
@@ -86,6 +120,7 @@ class ResultStore {
   void replay_journal();
 
   std::string path_;
+  Durability durability_ = Durability::kFlush;
   std::FILE* file_ = nullptr;  ///< append handle, opened after replay
   mutable std::mutex mutex_;
   std::map<std::string, StoredResult> results_;

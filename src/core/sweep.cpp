@@ -269,6 +269,33 @@ std::vector<SweepPoint> expand_sweep(const SweepSpec& spec) {
   return out;
 }
 
+BatchJob point_job(const SweepSpec& spec, const SweepPoint& p) {
+  if (spec.mode == SweepMode::kExact) {
+    BatchJob job;
+    job.mode = BatchJob::Mode::kExact;
+    job.dims = p.dims;
+    job.sp = p.sp;
+    job.config = p.config;
+    job.processor = spec.processor;
+    job.seed = spec.seed;
+    return job;
+  }
+  return sampled_job(p.dims, p.sp, p.config, spec.processor, spec.sample);
+}
+
+std::vector<std::string> grid_keys(const SweepSpec& spec, const std::vector<SweepPoint>& points) {
+  std::vector<std::string> keys;
+  keys.reserve(points.size());
+  for (const SweepPoint& p : points) keys.push_back(p.cache_key(spec));
+  return keys;
+}
+
+std::uint64_t grid_hash(const std::vector<std::string>& keys) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const std::string& key : keys) hash = fnv1a(key, hash);
+  return hash;
+}
+
 // --- cache ----------------------------------------------------------------
 
 const BatchResult* SweepCache::find(const std::string& key) const {
@@ -316,7 +343,7 @@ SweepReport run_sweep(const SweepSpec& spec, BatchRunner& runner, SweepCache* ca
 }
 
 SweepReport run_sweep(const SweepSpec& spec, const std::vector<SweepPoint>& points,
-                      BatchRunner& runner, SweepCache* cache) {
+                      BatchRunner& runner, SweepCache* cache, const std::atomic<bool>* cancel) {
   SweepReport report;
   report.spec_name = spec.name;
 
@@ -335,18 +362,7 @@ SweepReport run_sweep(const SweepSpec& spec, const std::vector<SweepPoint>& poin
     if (job_of_key.count(key) != 0) continue;
     if (cache != nullptr && cache->find(key) != nullptr) continue;
     job_of_key.emplace(key, jobs.size());
-    if (spec.mode == SweepMode::kExact) {
-      BatchJob job;
-      job.mode = BatchJob::Mode::kExact;
-      job.dims = p.dims;
-      job.sp = p.sp;
-      job.config = p.config;
-      job.processor = spec.processor;
-      job.seed = spec.seed;
-      jobs.push_back(std::move(job));
-    } else {
-      jobs.push_back(sampled_job(p.dims, p.sp, p.config, spec.processor, spec.sample));
-    }
+    jobs.push_back(point_job(spec, p));
     job_keys.push_back(key);
   }
   report.spec_hash = hash;
@@ -356,10 +372,12 @@ SweepReport run_sweep(const SweepSpec& spec, const std::vector<SweepPoint>& poin
   // not after the whole batch: a sweep killed mid-run keeps everything
   // measured so far for --resume. (SweepCache and ResultStore are both
   // thread-safe, as run_batch's completion callback requires.)
-  const std::vector<BatchResult> results =
-      run_batch(runner, jobs, [&](std::size_t i, const BatchResult& r) {
+  const std::vector<BatchResult> results = run_batch(
+      runner, jobs,
+      [&](std::size_t i, const BatchResult& r) {
         if (cache != nullptr) cache->insert(job_keys[i], r);
-      });
+      },
+      cancel);
 
   report.rows.reserve(points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {

@@ -87,6 +87,22 @@ struct SweepPoint {
   [[nodiscard]] std::string cache_key(const SweepSpec& spec) const;
 };
 
+/// The BatchJob measuring one expanded point — exactly the job run_sweep
+/// builds, factored out so distributed workers measure leased points
+/// bit-identically to a single-process sweep.
+[[nodiscard]] BatchJob point_job(const SweepSpec& spec, const SweepPoint& point);
+
+/// Cache keys of every expanded point in expansion order (each computed
+/// once; the orchestrator indexes points by position and keys them here).
+[[nodiscard]] std::vector<std::string> grid_keys(const SweepSpec& spec,
+                                                 const std::vector<SweepPoint>& points);
+
+/// FNV-1a digest chained over the keys in order — exactly the value
+/// run_sweep records as SweepReport::spec_hash. The orchestrator and its
+/// workers compare this to prove they expanded the same grid from the
+/// same spec before any lease names a point by bare index.
+[[nodiscard]] std::uint64_t grid_hash(const std::vector<std::string>& keys);
+
 /// Expands the spec's cross product in deterministic report order:
 /// suite -> sparsity -> workload -> algorithm -> dataflow -> unroll ->
 /// tile_rows. Structurally-unsupported cells are skipped rather than
@@ -158,10 +174,15 @@ class SweepCache {
 
 /// Same, but over an already-expanded grid (callers that expand_sweep()
 /// first — e.g. to report the point count — avoid expanding twice).
-/// `points` must come from expand_sweep(spec).
+/// `points` must come from expand_sweep(spec). `cancel` (optional) is the
+/// graceful-interrupt hook: once it reads true, queued measurements are
+/// skipped, in-flight ones finish and journal through the cache's store,
+/// and run_sweep throws BatchCancelled instead of returning a report (a
+/// partially-measured grid must never render as a complete one).
 [[nodiscard]] SweepReport run_sweep(const SweepSpec& spec,
                                     const std::vector<SweepPoint>& points, BatchRunner& runner,
-                                    SweepCache* cache = nullptr);
+                                    SweepCache* cache = nullptr,
+                                    const std::atomic<bool>* cancel = nullptr);
 
 /// Convenience overload on a temporary pool (0 = default size).
 [[nodiscard]] SweepReport run_sweep(const SweepSpec& spec, unsigned threads = 0,

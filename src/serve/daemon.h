@@ -1,0 +1,56 @@
+// imac_serve daemon: a fault-tolerant distributed sweep orchestrator.
+//
+// One daemon owns one sweep spec and one persistent ResultStore. Workers
+// (imac_run worker) connect over the serve/protocol.h wire format, lease
+// grid points, and stream results back; the daemon journals every result
+// through the store BEFORE acknowledging it, so an acked point can never
+// be lost to a worker or daemon death. Leases that miss their heartbeat
+// deadline are re-queued and stolen by live workers; duplicate completions
+// reconcile through the store's same-key-same-result invariant. When the
+// grid is fully journaled, the daemon assembles the canonical report —
+// byte-identical to a single-process `imac_run sweep` of the same spec —
+// writes it, and exits. A spec already covered by the store is served
+// straight from the journal ("0 new simulations").
+//
+// The run loop is single-threaded (poll over listener + worker sockets):
+// every state transition is serialized, so the scheduler needs no locks
+// and chaos interleavings replay deterministically in tests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "core/result_store.h"
+#include "serve/scheduler.h"
+
+namespace indexmac::serve {
+
+struct ServeOptions {
+  std::string spec_path;           ///< sweep spec JSON file (required)
+  std::string store_dir;           ///< ResultStore directory (required)
+  core::Durability durability = core::Durability::kFlush;  ///< --fsync
+  std::string out_path;            ///< report destination ("" = stdout)
+  bool json = false;               ///< report format (CSV default)
+  std::uint16_t port = 0;          ///< 0 = kernel-assigned ephemeral port
+  std::string port_file;           ///< written with the bound port, for harnesses
+  SchedulerConfig scheduler;       ///< lease deadline + batch size
+  std::uint64_t progress_ms = 1000;   ///< progress/ETA stream interval
+  std::uint64_t grace_ms = 500;       ///< post-completion window serving "complete"
+  std::uint64_t wall_ms = 0;          ///< abort guard for CI (0 = unlimited)
+  /// Graceful-shutdown flag (SIGINT/SIGTERM in the CLI): when it reads
+  /// true the daemon stops granting leases, keeps journaling in-flight
+  /// results until outstanding leases drain (or a deadline), prints the
+  /// resumable-run hint, and exits nonzero.
+  const std::atomic<bool>* stop = nullptr;
+  /// Test hook: set to the bound port before the first accept, so
+  /// in-process harnesses can connect without racing the port file.
+  std::atomic<int>* bound_port = nullptr;
+};
+
+/// Runs the daemon to completion. Returns the process exit code: 0 when
+/// the grid completed and the report was written, 130 on graceful stop,
+/// 3 on wall-clock abort. Configuration and store errors throw SimError.
+[[nodiscard]] int run_daemon(const ServeOptions& options);
+
+}  // namespace indexmac::serve

@@ -1,0 +1,96 @@
+// Thin RAII wrappers over POSIX loopback/IPv4 TCP sockets for the sweep
+// orchestrator (serve/daemon.h) and its workers (serve/worker.h).
+//
+// Design points:
+//   - Socket failures raise NetError (a SimError subclass) so callers can
+//     tell a retryable transport fault (worker: reconnect with backoff)
+//     from a logic error (bad spec, protocol violation) which stays a
+//     plain SimError and is fatal.
+//   - All sends use MSG_NOSIGNAL: a peer that vanished mid-write must
+//     surface as a catchable NetError, never as a process-killing SIGPIPE.
+//   - Only numeric IPv4 addresses are accepted ("127.0.0.1" by default).
+//     The orchestrator is a cluster-internal tool; pushing name resolution
+//     onto the caller keeps this layer dependency-free and deterministic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/error.h"
+
+namespace indexmac::serve {
+
+/// A transport-level failure (connection refused/reset, short write on a
+/// closed peer, poll error). Retryable by reconnecting; distinct from
+/// protocol/logic errors which remain plain SimError.
+class NetError : public SimError {
+ public:
+  explicit NetError(const std::string& what) : SimError(what) {}
+};
+
+/// Move-only owner of one connected TCP file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Socket& operator=(Socket&& o) noexcept;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Sends all `n` bytes; throws NetError on any failure.
+  void send_all(const void* data, std::size_t n);
+
+  /// Fault-injection hook: sends exactly the first `n` bytes of a larger
+  /// message, then hard-closes the socket — the "connection dropped
+  /// mid-record" failure a real network produces. Best-effort: transport
+  /// errors during the partial write are swallowed (the connection is
+  /// being destroyed either way).
+  void send_partial_and_close(const void* data, std::size_t n);
+
+  /// Receives up to `n` bytes. Returns 0 on orderly EOF; throws NetError
+  /// on a transport error.
+  [[nodiscard]] std::size_t recv_some(void* data, std::size_t n);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket bound to 127.0.0.1. Port 0 asks the kernel for
+/// an ephemeral port; port() reports the bound one either way.
+class Listener {
+ public:
+  explicit Listener(std::uint16_t port);
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] int fd() const { return socket_.fd(); }
+
+  /// Accepts one pending connection (call after poll reports readability).
+  [[nodiscard]] Socket accept();
+
+ private:
+  Socket socket_;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to a numeric IPv4 address. Throws NetError when the peer is
+/// unreachable (the worker's reconnect-with-backoff path) and SimError on
+/// a malformed address (fatal; retrying cannot help).
+[[nodiscard]] Socket connect_ipv4(const std::string& host, std::uint16_t port);
+
+/// Waits up to `timeout_ms` for `fd` to become readable. Returns true when
+/// readable, false on timeout; throws NetError on poll failure.
+[[nodiscard]] bool wait_readable(int fd, int timeout_ms);
+
+}  // namespace indexmac::serve

@@ -1,0 +1,217 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+namespace indexmac::serve {
+namespace {
+
+std::uint64_t double_bits(double d) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof bits);
+  return bits;
+}
+
+double bits_double(std::uint64_t bits) {
+  double d = 0;
+  std::memcpy(&d, &bits, sizeof d);
+  return d;
+}
+
+/// Message numbers ride as JSON doubles; every id/index/interval in the
+/// protocol fits the 2^53 exact range (grid indices, lease counters,
+/// millisecond intervals). Anything that can exceed it (cycle bits,
+/// access counts) crosses as a string instead.
+std::uint64_t field_u64(const JsonValue& msg, const char* key) {
+  return msg.at(key).as_uint();
+}
+
+}  // namespace
+
+// --- framing --------------------------------------------------------------
+
+std::string encode_frame(const JsonValue& message) {
+  const std::string payload = message.dump();
+  IMAC_CHECK(payload.size() <= kMaxFrameBytes, "protocol: frame exceeds kMaxFrameBytes");
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) frame.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+  frame += payload;
+  return frame;
+}
+
+void send_message(Socket& socket, const JsonValue& message) {
+  const std::string frame = encode_frame(message);
+  socket.send_all(frame.data(), frame.size());
+}
+
+std::optional<std::string> FrameBuffer::next() {
+  if (buffer_.size() < 4) return std::nullopt;
+  std::uint32_t len = 0;
+  for (int i = 3; i >= 0; --i)
+    len = (len << 8) | static_cast<unsigned char>(buffer_[static_cast<std::size_t>(i)]);
+  IMAC_CHECK(len <= kMaxFrameBytes,
+             "protocol: oversized frame (" + std::to_string(len) + " bytes) — corrupt stream");
+  if (buffer_.size() - 4 < len) return std::nullopt;
+  std::string payload = buffer_.substr(4, len);
+  buffer_.erase(0, 4 + static_cast<std::size_t>(len));
+  return payload;
+}
+
+std::optional<JsonValue> recv_message(Socket& socket, FrameBuffer& buffer, int timeout_ms) {
+  for (;;) {
+    if (std::optional<std::string> payload = buffer.next()) return parse_json(*payload);
+    if (!wait_readable(socket.fd(), timeout_ms)) return std::nullopt;
+    char chunk[4096];
+    const std::size_t got = socket.recv_some(chunk, sizeof chunk);
+    if (got == 0) throw NetError("protocol: peer closed the connection");
+    buffer.feed(chunk, got);
+  }
+}
+
+// --- message builders -----------------------------------------------------
+
+namespace {
+
+JsonValue typed(const char* type) {
+  JsonValue m = JsonValue::make_object();
+  m.set("type", JsonValue(std::string(type)));
+  return m;
+}
+
+}  // namespace
+
+JsonValue make_hello(const std::string& worker) {
+  JsonValue m = typed("hello");
+  m.set("worker", JsonValue(worker));
+  m.set("protocol", JsonValue(static_cast<double>(kProtocolVersion)));
+  return m;
+}
+
+JsonValue make_welcome(const std::string& spec_name, std::size_t points, std::uint64_t grid_hash,
+                       const std::string& spec_text) {
+  JsonValue m = typed("welcome");
+  m.set("name", JsonValue(spec_name));
+  m.set("points", JsonValue(static_cast<double>(points)));
+  m.set("hash", JsonValue(u64_to_hex(grid_hash)));
+  m.set("spec", JsonValue(spec_text));
+  return m;
+}
+
+JsonValue make_lease_request() { return typed("lease-request"); }
+
+JsonValue make_lease(std::uint64_t lease_id, std::uint64_t lease_ms,
+                     const std::vector<std::uint32_t>& points) {
+  JsonValue m = typed("lease");
+  m.set("lease", JsonValue(static_cast<double>(lease_id)));
+  m.set("lease_ms", JsonValue(static_cast<double>(lease_ms)));
+  JsonValue arr = JsonValue::make_array();
+  for (const std::uint32_t p : points) arr.push_back(JsonValue(static_cast<double>(p)));
+  m.set("points", std::move(arr));
+  return m;
+}
+
+JsonValue make_drain() { return typed("drain"); }
+
+JsonValue make_complete() { return typed("complete"); }
+
+JsonValue make_heartbeat(std::uint64_t lease_id) {
+  JsonValue m = typed("heartbeat");
+  m.set("lease", JsonValue(static_cast<double>(lease_id)));
+  return m;
+}
+
+JsonValue make_result(std::uint64_t lease_id, std::uint32_t point, double cycles,
+                      std::uint64_t accesses) {
+  JsonValue m = typed("result");
+  m.set("lease", JsonValue(static_cast<double>(lease_id)));
+  m.set("point", JsonValue(static_cast<double>(point)));
+  m.set("cycles", JsonValue(u64_to_hex(double_bits(cycles))));
+  m.set("accesses", JsonValue(u64_to_dec(accesses)));
+  return m;
+}
+
+JsonValue make_ack(std::uint32_t point) {
+  JsonValue m = typed("ack");
+  m.set("point", JsonValue(static_cast<double>(point)));
+  return m;
+}
+
+JsonValue make_error(const std::string& message) {
+  JsonValue m = typed("error");
+  m.set("message", JsonValue(message));
+  return m;
+}
+
+// --- field accessors ------------------------------------------------------
+
+std::string message_type(const JsonValue& message) {
+  IMAC_CHECK(message.is_object(), "protocol: message is not a JSON object");
+  return message.at("type").as_string();
+}
+
+ResultFields parse_result(const JsonValue& message) {
+  ResultFields f;
+  f.lease = field_u64(message, "lease");
+  f.point = static_cast<std::uint32_t>(field_u64(message, "point"));
+  f.cycles = bits_double(hex_to_u64(message.at("cycles").as_string()));
+  f.accesses = dec_to_u64(message.at("accesses").as_string());
+  return f;
+}
+
+LeaseFields parse_lease(const JsonValue& message) {
+  LeaseFields f;
+  f.lease = field_u64(message, "lease");
+  f.lease_ms = field_u64(message, "lease_ms");
+  for (const JsonValue& p : message.at("points").as_array())
+    f.points.push_back(static_cast<std::uint32_t>(p.as_uint()));
+  return f;
+}
+
+WelcomeFields parse_welcome(const JsonValue& message) {
+  WelcomeFields f;
+  f.spec_name = message.at("name").as_string();
+  f.points = static_cast<std::size_t>(field_u64(message, "points"));
+  f.grid_hash = hex_to_u64(message.at("hash").as_string());
+  f.spec_text = message.at("spec").as_string();
+  return f;
+}
+
+std::string u64_to_hex(std::uint64_t v) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return s;
+}
+
+std::uint64_t hex_to_u64(const std::string& s) {
+  IMAC_CHECK(s.size() == 16, "protocol: expected 16 hex digits, got \"" + s + "\"");
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    unsigned digit = 0;
+    if (c >= '0' && c <= '9') digit = static_cast<unsigned>(c - '0');
+    else if (c >= 'a' && c <= 'f') digit = static_cast<unsigned>(c - 'a') + 10;
+    else raise("protocol: bad hex digit in \"" + s + "\"");
+    v = (v << 4) | digit;
+  }
+  return v;
+}
+
+std::string u64_to_dec(std::uint64_t v) { return std::to_string(v); }
+
+std::uint64_t dec_to_u64(const std::string& s) {
+  IMAC_CHECK(!s.empty() && s.size() <= 20, "protocol: bad u64 \"" + s + "\"");
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    IMAC_CHECK(c >= '0' && c <= '9', "protocol: bad u64 \"" + s + "\"");
+    const std::uint64_t next = v * 10 + static_cast<std::uint64_t>(c - '0');
+    IMAC_CHECK(next >= v, "protocol: u64 overflow in \"" + s + "\"");
+    v = next;
+  }
+  return v;
+}
+
+}  // namespace indexmac::serve

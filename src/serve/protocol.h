@@ -1,0 +1,140 @@
+// Wire protocol of the sweep orchestrator: length-prefixed JSON frames
+// over TCP (reusing common/json for the payloads).
+//
+// Framing: u32 little-endian payload length | payload (UTF-8 JSON object).
+// Frames above kMaxFrameBytes are a protocol violation (a corrupt length
+// prefix would otherwise ask the peer to buffer gigabytes).
+//
+// Conversation (worker w, daemon d):
+//
+//   w->d  {"type":"hello","worker":"w0","protocol":1}
+//   d->w  {"type":"welcome","name":SPEC,"points":N,"hash":"<16 hex>",
+//          "spec":"<verbatim sweep-spec JSON text>"}
+//            The worker re-parses and re-expands the spec locally and must
+//            reproduce the daemon's point count and grid hash exactly —
+//            leases then name points by expansion index alone, so job
+//            descriptions (shapes, processor config, seeds) never cross
+//            the wire.
+//   w->d  {"type":"lease-request"}
+//   d->w  {"type":"lease","lease":L,"lease_ms":M,"points":[i,...]}
+//       | {"type":"drain"}      nothing leasable now; poll again later
+//       | {"type":"complete"}   grid fully journaled; worker exits 0
+//   w->d  {"type":"heartbeat","lease":L}         extends the lease deadline
+//   w->d  {"type":"result","lease":L,"point":i,
+//          "cycles":"<16 hex digits: IEEE-754 bits>","accesses":"<u64>"}
+//            cycles crosses the wire as exact bits (JSON numbers are
+//            doubles formatted at 10 significant digits — not enough for a
+//            byte-identical merged report); accesses as a decimal string
+//            (u64 can exceed the 2^53 exact-integer range of a double).
+//   d->w  {"type":"ack","point":i}     sent only after the result is
+//                                      journaled in the daemon's store
+//       | {"type":"complete"}          that result finished the grid
+//   d->w  {"type":"error","message":"..."}   protocol violation; fatal
+//
+// Results are accepted even when their lease has expired or was re-leased
+// to another worker: completions reconcile through the result store's
+// same-key-same-result invariant, so duplicates are no-ops and divergent
+// duplicates abort the daemon loudly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "serve/net.h"
+
+namespace indexmac::serve {
+
+constexpr std::uint32_t kProtocolVersion = 1;
+/// Generous bound: the largest legitimate frame is the welcome message
+/// carrying a sweep-spec text (hundreds of bytes, spec'd at well under
+/// a mebibyte).
+constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+// --- framing --------------------------------------------------------------
+
+/// Renders one frame: u32 LE length prefix + serialized JSON.
+[[nodiscard]] std::string encode_frame(const JsonValue& message);
+
+/// Sends one message as a frame.
+void send_message(Socket& socket, const JsonValue& message);
+
+/// Incremental frame decoder: feed() received bytes, next() yields each
+/// complete payload. Throws SimError on an oversized length prefix.
+class FrameBuffer {
+ public:
+  void feed(const char* data, std::size_t n) { buffer_.append(data, n); }
+
+  /// Returns the next complete frame payload, or nullopt when more bytes
+  /// are needed.
+  [[nodiscard]] std::optional<std::string> next();
+
+  /// Bytes of an incomplete trailing frame (diagnostics: a peer that died
+  /// mid-record leaves a nonzero residue).
+  [[nodiscard]] std::size_t pending_bytes() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Blocking receive of one complete message with a deadline. Returns
+/// nullopt on timeout; throws NetError on EOF or transport failure and
+/// SimError on malformed JSON. `buffer` carries partial frames between
+/// calls and must be per-connection.
+[[nodiscard]] std::optional<JsonValue> recv_message(Socket& socket, FrameBuffer& buffer,
+                                                    int timeout_ms);
+
+// --- message builders -----------------------------------------------------
+
+[[nodiscard]] JsonValue make_hello(const std::string& worker);
+[[nodiscard]] JsonValue make_welcome(const std::string& spec_name, std::size_t points,
+                                     std::uint64_t grid_hash, const std::string& spec_text);
+[[nodiscard]] JsonValue make_lease_request();
+[[nodiscard]] JsonValue make_lease(std::uint64_t lease_id, std::uint64_t lease_ms,
+                                   const std::vector<std::uint32_t>& points);
+[[nodiscard]] JsonValue make_drain();
+[[nodiscard]] JsonValue make_complete();
+[[nodiscard]] JsonValue make_heartbeat(std::uint64_t lease_id);
+[[nodiscard]] JsonValue make_result(std::uint64_t lease_id, std::uint32_t point, double cycles,
+                                    std::uint64_t accesses);
+[[nodiscard]] JsonValue make_ack(std::uint32_t point);
+[[nodiscard]] JsonValue make_error(const std::string& message);
+
+// --- field accessors ------------------------------------------------------
+
+/// "type" of a message; SimError when absent (malformed peer).
+[[nodiscard]] std::string message_type(const JsonValue& message);
+
+/// Exact round-trip of the result payload (see header comment).
+struct ResultFields {
+  std::uint64_t lease = 0;
+  std::uint32_t point = 0;
+  double cycles = 0;
+  std::uint64_t accesses = 0;
+};
+[[nodiscard]] ResultFields parse_result(const JsonValue& message);
+
+struct LeaseFields {
+  std::uint64_t lease = 0;
+  std::uint64_t lease_ms = 0;
+  std::vector<std::uint32_t> points;
+};
+[[nodiscard]] LeaseFields parse_lease(const JsonValue& message);
+
+struct WelcomeFields {
+  std::string spec_name;
+  std::size_t points = 0;
+  std::uint64_t grid_hash = 0;
+  std::string spec_text;
+};
+[[nodiscard]] WelcomeFields parse_welcome(const JsonValue& message);
+
+/// u64 <-> fixed-width hex / decimal strings (exact, locale-independent).
+[[nodiscard]] std::string u64_to_hex(std::uint64_t v);
+[[nodiscard]] std::uint64_t hex_to_u64(const std::string& s);
+[[nodiscard]] std::string u64_to_dec(std::uint64_t v);
+[[nodiscard]] std::uint64_t dec_to_u64(const std::string& s);
+
+}  // namespace indexmac::serve

@@ -1,0 +1,133 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace indexmac::serve {
+
+Scheduler::Scheduler(std::size_t total_points, const SchedulerConfig& config)
+    : config_(config), total_(total_points) {
+  IMAC_CHECK(total_points > 0, "scheduler: empty grid");
+  IMAC_CHECK(config.batch > 0, "scheduler: lease batch must be positive");
+  IMAC_CHECK(config.lease_ms > 0, "scheduler: lease_ms must be positive");
+  state_.assign(total_, State::kPending);
+  for (std::uint32_t i = 0; i < total_; ++i) queue_.push_back(i);
+}
+
+void Scheduler::preload_complete(std::uint32_t point) {
+  IMAC_CHECK(point < total_, "scheduler: preload of out-of-range point");
+  IMAC_CHECK(leases_.empty(), "scheduler: preload after leasing started");
+  if (state_[point] == State::kDone) return;
+  state_[point] = State::kDone;
+  ++completed_;
+}
+
+Lease Scheduler::grant(std::uint64_t worker, std::uint64_t now_ms) {
+  Lease lease;
+  while (lease.points.size() < config_.batch && !queue_.empty()) {
+    const std::uint32_t point = queue_.front();
+    queue_.pop_front();
+    // Stale queue entries: completed while waiting (a stalled worker's
+    // late result) or re-queued and already re-leased. Skip silently.
+    if (state_[point] != State::kPending) continue;
+    state_[point] = State::kLeased;
+    lease.points.push_back(point);
+  }
+  if (lease.points.empty()) return lease;  // id 0: drain
+  lease.id = next_lease_id_++;
+  lease.worker = worker;
+  lease.deadline_ms = now_ms + config_.lease_ms;
+  leases_.emplace(lease.id, lease);
+  return lease;
+}
+
+bool Scheduler::heartbeat(std::uint64_t lease_id, std::uint64_t now_ms) {
+  const auto it = leases_.find(lease_id);
+  if (it == leases_.end()) return false;
+  it->second.deadline_ms = now_ms + config_.lease_ms;
+  return true;
+}
+
+bool Scheduler::complete(std::uint32_t point) {
+  IMAC_CHECK(point < total_, "scheduler: completion of out-of-range point " +
+                                 std::to_string(point) + " (grid has " + std::to_string(total_) +
+                                 " points)");
+  if (state_[point] == State::kDone) {
+    ++duplicate_completions_;
+    return false;
+  }
+  state_[point] = State::kDone;
+  ++completed_;
+  // Leases shrink as their points complete so a fully-done lease stops
+  // occupying deadline tracking (and a partially-done expired lease only
+  // re-queues what is actually unfinished).
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    auto& points = it->second.points;
+    points.erase(std::remove(points.begin(), points.end(), point), points.end());
+    it = points.empty() ? leases_.erase(it) : std::next(it);
+  }
+  return true;
+}
+
+std::size_t Scheduler::expire(std::uint64_t now_ms) {
+  std::size_t requeued = 0;
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    if (it->second.deadline_ms > now_ms) {
+      ++it;
+      continue;
+    }
+    ++expired_leases_;
+    // Front of the queue: stranded points are the oldest work in flight
+    // and should be stolen before fresh points are handed out.
+    for (auto p = it->second.points.rbegin(); p != it->second.points.rend(); ++p) {
+      if (state_[*p] != State::kLeased) continue;
+      state_[*p] = State::kPending;
+      queue_.push_front(*p);
+      ++requeued;
+    }
+    it = leases_.erase(it);
+  }
+  return requeued;
+}
+
+std::size_t Scheduler::release_worker(std::uint64_t worker) {
+  std::size_t requeued = 0;
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    if (it->second.worker != worker) {
+      ++it;
+      continue;
+    }
+    for (auto p = it->second.points.rbegin(); p != it->second.points.rend(); ++p) {
+      if (state_[*p] != State::kLeased) continue;
+      state_[*p] = State::kPending;
+      queue_.push_front(*p);
+      ++requeued;
+    }
+    it = leases_.erase(it);
+  }
+  return requeued;
+}
+
+std::optional<std::uint64_t> Scheduler::next_deadline_ms() const {
+  std::optional<std::uint64_t> earliest;
+  for (const auto& [id, lease] : leases_)
+    if (!earliest || lease.deadline_ms < *earliest) earliest = lease.deadline_ms;
+  return earliest;
+}
+
+std::size_t Scheduler::pending() const {
+  std::size_t n = 0;
+  for (const State s : state_)
+    if (s == State::kPending) ++n;
+  return n;
+}
+
+std::size_t Scheduler::leased() const {
+  std::size_t n = 0;
+  for (const State s : state_)
+    if (s == State::kLeased) ++n;
+  return n;
+}
+
+}  // namespace indexmac::serve

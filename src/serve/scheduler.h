@@ -1,0 +1,99 @@
+// Deterministic lease table of the sweep orchestrator.
+//
+// The scheduler tracks every expanded grid point through three states —
+// pending, leased, done — and never touches a clock or a socket: "now" is
+// a caller-supplied millisecond count, so chaos scenarios (expired leases,
+// duplicate completions, vanished workers) are plain unit tests.
+//
+// Work stealing replaces static partitioning: a lease that misses its
+// deadline (no heartbeat, no results) is expired and its unfinished points
+// return to the FRONT of the pending queue, so the oldest stranded work is
+// re-leased to the next live worker that asks. Completions are accepted
+// from anyone, including a worker whose lease was already re-assigned:
+// the first completion wins, later duplicates are no-ops (the result
+// store's same-key-same-result invariant guards their payloads).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace indexmac::serve {
+
+struct SchedulerConfig {
+  /// A lease not heartbeat within this window is expired and re-queued.
+  std::uint64_t lease_ms = 5000;
+  /// Points granted per lease. Small batches amortize protocol round
+  /// trips without stranding much work behind a dead worker.
+  std::uint32_t batch = 4;
+};
+
+struct Lease {
+  std::uint64_t id = 0;
+  std::uint64_t worker = 0;
+  std::uint64_t deadline_ms = 0;
+  std::vector<std::uint32_t> points;
+};
+
+class Scheduler {
+ public:
+  Scheduler(std::size_t total_points, const SchedulerConfig& config);
+
+  /// Marks a point done before any leasing (journal preload on startup).
+  void preload_complete(std::uint32_t point);
+
+  /// Grants up to config.batch pending points to `worker`. An empty
+  /// points list means nothing is leasable right now (drain — either the
+  /// grid is done or every remaining point is leased out).
+  [[nodiscard]] Lease grant(std::uint64_t worker, std::uint64_t now_ms);
+
+  /// Extends a live lease's deadline. False for unknown/expired ids (the
+  /// worker's lease was stolen; it learns on its next lease request).
+  bool heartbeat(std::uint64_t lease_id, std::uint64_t now_ms);
+
+  /// Records a completion from anywhere — live lease, expired lease, or a
+  /// worker the point was stolen from. Returns true when the point was
+  /// newly completed, false for duplicates. Throws on an out-of-range
+  /// point index (protocol violation).
+  bool complete(std::uint32_t point);
+
+  /// Expires every lease past its deadline, re-queueing unfinished points
+  /// at the front of the pending queue. Returns the re-queued count.
+  std::size_t expire(std::uint64_t now_ms);
+
+  /// Releases all of `worker`'s leases immediately (its connection died).
+  /// Returns the re-queued point count.
+  std::size_t release_worker(std::uint64_t worker);
+
+  /// Earliest live-lease deadline, for the daemon's poll timeout.
+  [[nodiscard]] std::optional<std::uint64_t> next_deadline_ms() const;
+
+  [[nodiscard]] bool done() const { return completed_ == total_; }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t completed() const { return completed_; }
+  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] std::size_t leased() const;
+  /// Leases expired over the scheduler's lifetime (chaos observability).
+  [[nodiscard]] std::uint64_t expired_leases() const { return expired_leases_; }
+  /// Duplicate completions observed (work stealing reconciliation).
+  [[nodiscard]] std::uint64_t duplicate_completions() const { return duplicate_completions_; }
+
+ private:
+  enum class State : std::uint8_t { kPending, kLeased, kDone };
+
+  SchedulerConfig config_;
+  std::size_t total_ = 0;
+  std::size_t completed_ = 0;
+  std::vector<State> state_;
+  /// May transiently contain non-pending points (completed while queued,
+  /// or re-queued twice); grant() skips them lazily.
+  std::deque<std::uint32_t> queue_;
+  std::map<std::uint64_t, Lease> leases_;
+  std::uint64_t next_lease_id_ = 1;
+  std::uint64_t expired_leases_ = 0;
+  std::uint64_t duplicate_completions_ = 0;
+};
+
+}  // namespace indexmac::serve

@@ -1,0 +1,59 @@
+// imac_serve worker: connects to a daemon, leases grid points, measures
+// them, and streams results back (see serve/protocol.h for the wire
+// conversation and serve/daemon.h for the orchestration model).
+//
+// Fault model: every transport failure — connection refused, daemon
+// restart, dropped socket, receive timeout — is retryable. The worker
+// reconnects with capped exponential backoff plus deterministic jitter
+// (seeded from the worker name, so fleets do not thundering-herd a
+// restarted daemon in lockstep) and gives up only after give_up_ms
+// without a successful exchange. Protocol errors (grid-hash mismatch,
+// an explicit "error" message) are fatal: retrying cannot fix a worker
+// and daemon that disagree about what the work is.
+//
+// Chaos hooks (ChaosOptions) let tests script worker misbehaviour
+// deterministically: self-SIGKILL after N results, a heartbeat stall
+// long enough to lose a lease, a connection dropped halfway through a
+// result frame. They exist to prove the daemon's recovery machinery in
+// CI and are plumbed to `imac_run worker --chaos-*` flags.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace indexmac::serve {
+
+/// Scripted fault injection; -1 disables a hook. Counts are of results
+/// successfully sent so far, so "kill_after 2" dies with exactly two
+/// results delivered.
+struct ChaosOptions {
+  long kill_after = -1;   ///< raise(SIGKILL) before sending result N
+  long drop_after = -1;   ///< send half a frame of result N, then close
+  long stall_after = -1;  ///< after sending result N, stall (no heartbeats)
+  std::uint64_t stall_ms = 0;  ///< stall length; make it > the lease deadline
+};
+
+struct WorkerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;       ///< required
+  std::string name = "worker";  ///< identifies this worker in daemon logs
+  std::uint64_t heartbeat_ms = 1000;  ///< heartbeat cadence while simulating
+  std::uint64_t poll_ms = 200;        ///< re-request delay after "drain"
+  std::uint64_t backoff_base_ms = 50;
+  std::uint64_t backoff_cap_ms = 2000;
+  /// Give up after this long without a successful exchange (a worker that
+  /// outlives its daemon forever would leak from every harness).
+  std::uint64_t give_up_ms = 120000;
+  ChaosOptions chaos;
+  const std::atomic<bool>* stop = nullptr;  ///< SIGINT/SIGTERM flag
+  bool quiet = false;                       ///< suppress per-lease stderr chatter
+};
+
+/// Runs the worker until the daemon reports the grid complete. Returns the
+/// process exit code: 0 on "complete", 3 after give_up_ms of failed
+/// reconnects, 130 on stop-flag interrupt. Fatal protocol disagreements
+/// throw SimError.
+[[nodiscard]] int run_worker(const WorkerOptions& options);
+
+}  // namespace indexmac::serve

@@ -19,6 +19,9 @@
 // Invoking with a .s file and no subcommand keeps the historical
 // single-purpose interface working: `imac_run [flags] file.s` == `imac_run
 // run [flags] file.s`.
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +30,7 @@
 #include <map>
 #include <memory>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "asm/text_assembler.h"
@@ -40,10 +44,22 @@
 #include "fsim/machine.h"
 #include "fsim/threaded.h"
 #include "fsim/tracer.h"
+#include "serve/worker.h"
 #include "timing/timing_sim.h"
 #include "workloads/workloads.h"
 
 namespace {
+
+/// SIGINT/SIGTERM flag for the graceful-shutdown paths (sweep, worker).
+/// An atomic store is the only thing the handler does — async-signal-safe.
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_stop_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+void install_stop_handlers() {
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+}
 
 // Requested help goes to stdout (exit 0); usage errors go to stderr.
 void usage(std::FILE* out) {
@@ -63,7 +79,8 @@ void usage(std::FILE* out) {
                "                     \"threaded\" (predecoded threaded code; identical\n"
                "                     results, faster; --trace requires interp)\n"
                "  sweep --spec spec.json [--out file] [--format csv|json] [--threads N]\n"
-               "        [--store DIR] [--resume] [--shard i/N] [--engine interp|threaded]\n"
+               "        [--store DIR] [--resume] [--fsync] [--shard i/N]\n"
+               "        [--engine interp|threaded]\n"
                "      Runs the sweep described by spec.json (see README: sweep specs)\n"
                "      on a parallel BatchRunner pool and writes the report to stdout\n"
                "      or --out.\n"
@@ -76,6 +93,27 @@ void usage(std::FILE* out) {
                "                    disjoint shards cover the grid exactly once\n"
                "      --engine E    override the spec's functional engine (reports and\n"
                "                    cache keys are engine-independent by construction)\n"
+               "      --fsync       with --store: fsync the journal after every record\n"
+               "                    (survives power loss, not just process death)\n"
+               "      SIGINT/SIGTERM stop gracefully: queued points are skipped,\n"
+               "      in-flight points finish and journal, and the run exits 130 with\n"
+               "      a resume hint (rerun with --resume).\n"
+               "  worker (--port N | --port-file F) [--host A] [--name W]\n"
+               "         [--heartbeat-ms N] [--poll-ms N] [--backoff-base-ms N]\n"
+               "         [--backoff-cap-ms N] [--give-up-ms N] [--quiet]\n"
+               "         [--chaos-kill-after N] [--chaos-drop-after N]\n"
+               "         [--chaos-stall-after N --chaos-stall-ms N]\n"
+               "      Joins an imac_serve daemon as a sweep worker: leases grid\n"
+               "      points, measures them, streams results back, and reconnects\n"
+               "      with capped exponential backoff when the daemon goes away.\n"
+               "      Exits 0 when the daemon reports the grid complete, 3 after\n"
+               "      --give-up-ms without a reachable daemon, 130 on SIGINT.\n"
+               "      --port-file F  read the port from F (as written by imac_serve\n"
+               "                     --port-file), waiting for it to appear\n"
+               "      --chaos-*      scripted fault injection for tests: SIGKILL self\n"
+               "                     before sending result N / drop the connection\n"
+               "                     mid-record at result N / stall without heartbeats\n"
+               "                     after result N\n"
                "  merge --spec spec.json [--store DIR]... [--out file] [--format csv|json]\n"
                "        [shard.csv]...\n"
                "      Fuses shard stores and/or shard CSV reports into the canonical\n"
@@ -247,6 +285,7 @@ int cmd_sweep(int argc, char** argv) {
   const char* shard_text = nullptr;
   const char* engine_text = nullptr;
   bool resume = false;
+  bool fsync_each = false;
   bool json = false;
   unsigned threads = 0;
 
@@ -257,6 +296,7 @@ int cmd_sweep(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--shard") == 0 && i + 1 < argc) shard_text = argv[++i];
     else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) engine_text = argv[++i];
     else if (std::strcmp(argv[i], "--resume") == 0) resume = true;
+    else if (std::strcmp(argv[i], "--fsync") == 0) fsync_each = true;
     else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       // Same strictness as INDEXMAC_THREADS (throws SimError on anything
       // outside [1, 1024]): a silently-mangled typo would run the sweep at
@@ -285,6 +325,10 @@ int cmd_sweep(int argc, char** argv) {
     std::fprintf(stderr, "imac_run sweep: --resume requires --store DIR\n");
     return 2;
   }
+  if (fsync_each && store_dir == nullptr) {
+    std::fprintf(stderr, "imac_run sweep: --fsync requires --store DIR\n");
+    return 2;
+  }
 
   core::SweepSpec spec = core::parse_sweep_spec_file(spec_path);
   // The CLI flag wins over the spec's "engine" key. Applied before
@@ -306,7 +350,8 @@ int cmd_sweep(int argc, char** argv) {
   std::unique_ptr<core::ResultStore> store;
   core::SweepCache cache;
   if (store_dir != nullptr) {
-    store = std::make_unique<core::ResultStore>(store_dir);
+    store = std::make_unique<core::ResultStore>(
+        store_dir, fsync_each ? core::Durability::kFsyncEach : core::Durability::kFlush);
     cache.attach_store(*store, resume);
     if (store->dropped_bytes() > 0)
       std::fprintf(stderr, "store %s: recovered (dropped %llu corrupt tail bytes)\n",
@@ -320,13 +365,111 @@ int cmd_sweep(int argc, char** argv) {
   core::BatchRunner pool(threads);
   std::fprintf(stderr, "sweep %s: %zu points on %u threads\n", spec.name.c_str(), points.size(),
                pool.thread_count());
-  const core::SweepReport report = core::run_sweep(spec, points, pool, &cache);
-  if (store != nullptr)
-    std::fprintf(stderr, "store: %llu new simulations journaled (%llu already on disk)\n",
-                 static_cast<unsigned long long>(store->appended()),
-                 static_cast<unsigned long long>(store->loaded()));
-  const std::string rendered = json ? core::report_to_json(report) : core::report_to_csv(report);
-  return write_report(rendered, out_path, report.rows.size(), "sweep");
+  install_stop_handlers();
+  try {
+    const core::SweepReport report = core::run_sweep(spec, points, pool, &cache, &g_stop);
+    if (store != nullptr)
+      std::fprintf(stderr, "store: %llu new simulations journaled (%llu already on disk)\n",
+                   static_cast<unsigned long long>(store->appended()),
+                   static_cast<unsigned long long>(store->loaded()));
+    const std::string rendered =
+        json ? core::report_to_json(report) : core::report_to_csv(report);
+    return write_report(rendered, out_path, report.rows.size(), "sweep");
+  } catch (const core::BatchCancelled&) {
+    // Graceful interrupt: in-flight points finished and (with --store)
+    // journaled before we got here; queued points were skipped. No report
+    // is written — a partial grid must never render as a complete one.
+    if (store != nullptr) {
+      std::fprintf(stderr,
+                   "sweep %s: interrupted; %llu completed points journaled to %s\n"
+                   "resumable: rerun with --resume to simulate only the missing points\n",
+                   spec.name.c_str(), static_cast<unsigned long long>(store->appended()),
+                   store->journal_path().c_str());
+    } else {
+      std::fprintf(stderr,
+                   "sweep %s: interrupted; completed points were DISCARDED (no --store)\n"
+                   "hint: rerun with --store DIR to make interrupted sweeps resumable\n",
+                   spec.name.c_str());
+    }
+    return 130;
+  }
+}
+
+/// Strict numeric flag parsing: a mistyped chaos or timing flag must not
+/// silently become 0 and invalidate what a chaos test believes it proved.
+std::uint64_t parse_u64_flag(const char* flag, const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || errno != 0)
+    indexmac::raise(std::string("imac_run worker: ") + flag + " expects an unsigned integer, got \"" +
+                    text + "\"");
+  return v;
+}
+
+int cmd_worker(int argc, char** argv) {
+  using namespace indexmac;
+  serve::WorkerOptions opts;
+  const char* port_file = nullptr;
+
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--host") == 0 && i + 1 < argc) opts.host = argv[++i];
+    else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc)
+      opts.port = static_cast<std::uint16_t>(parse_u64_flag("--port", argv[++i]));
+    else if (std::strcmp(argv[i], "--port-file") == 0 && i + 1 < argc) port_file = argv[++i];
+    else if (std::strcmp(argv[i], "--name") == 0 && i + 1 < argc) opts.name = argv[++i];
+    else if (std::strcmp(argv[i], "--heartbeat-ms") == 0 && i + 1 < argc)
+      opts.heartbeat_ms = parse_u64_flag("--heartbeat-ms", argv[++i]);
+    else if (std::strcmp(argv[i], "--poll-ms") == 0 && i + 1 < argc)
+      opts.poll_ms = parse_u64_flag("--poll-ms", argv[++i]);
+    else if (std::strcmp(argv[i], "--backoff-base-ms") == 0 && i + 1 < argc)
+      opts.backoff_base_ms = parse_u64_flag("--backoff-base-ms", argv[++i]);
+    else if (std::strcmp(argv[i], "--backoff-cap-ms") == 0 && i + 1 < argc)
+      opts.backoff_cap_ms = parse_u64_flag("--backoff-cap-ms", argv[++i]);
+    else if (std::strcmp(argv[i], "--give-up-ms") == 0 && i + 1 < argc)
+      opts.give_up_ms = parse_u64_flag("--give-up-ms", argv[++i]);
+    else if (std::strcmp(argv[i], "--chaos-kill-after") == 0 && i + 1 < argc)
+      opts.chaos.kill_after = static_cast<long>(parse_u64_flag("--chaos-kill-after", argv[++i]));
+    else if (std::strcmp(argv[i], "--chaos-drop-after") == 0 && i + 1 < argc)
+      opts.chaos.drop_after = static_cast<long>(parse_u64_flag("--chaos-drop-after", argv[++i]));
+    else if (std::strcmp(argv[i], "--chaos-stall-after") == 0 && i + 1 < argc)
+      opts.chaos.stall_after =
+          static_cast<long>(parse_u64_flag("--chaos-stall-after", argv[++i]));
+    else if (std::strcmp(argv[i], "--chaos-stall-ms") == 0 && i + 1 < argc)
+      opts.chaos.stall_ms = parse_u64_flag("--chaos-stall-ms", argv[++i]);
+    else if (std::strcmp(argv[i], "--quiet") == 0) opts.quiet = true;
+    else {
+      usage(stderr);
+      return 2;
+    }
+  }
+  if ((opts.port == 0) == (port_file == nullptr)) {
+    std::fprintf(stderr, "imac_run worker: exactly one of --port/--port-file is required\n");
+    return 2;
+  }
+  if (port_file != nullptr) {
+    // The daemon writes its (possibly kernel-assigned) port here right
+    // after binding; wait for it so harnesses can start both in parallel.
+    const auto give_up = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(opts.give_up_ms);
+    for (;;) {
+      std::ifstream pf(port_file);
+      unsigned long port = 0;
+      if (pf >> port && port > 0 && port <= 65535) {
+        opts.port = static_cast<std::uint16_t>(port);
+        break;
+      }
+      if (std::chrono::steady_clock::now() > give_up) {
+        std::fprintf(stderr, "imac_run worker: no usable port in %s after --give-up-ms\n",
+                     port_file);
+        return 3;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  install_stop_handlers();
+  opts.stop = &g_stop;
+  return serve::run_worker(opts);
 }
 
 int cmd_merge(int argc, char** argv) {
@@ -550,8 +693,9 @@ int cmd_report(int argc, char** argv) {
 
 bool is_subcommand(const char* s) {
   return std::strcmp(s, "run") == 0 || std::strcmp(s, "sweep") == 0 ||
-         std::strcmp(s, "merge") == 0 || std::strcmp(s, "list-workloads") == 0 ||
-         std::strcmp(s, "list-algorithms") == 0 || std::strcmp(s, "report") == 0;
+         std::strcmp(s, "worker") == 0 || std::strcmp(s, "merge") == 0 ||
+         std::strcmp(s, "list-workloads") == 0 || std::strcmp(s, "list-algorithms") == 0 ||
+         std::strcmp(s, "report") == 0;
 }
 
 }  // namespace
@@ -574,6 +718,7 @@ int main(int argc, char** argv) {
       const int nrest = argc - 2;
       if (std::strcmp(cmd, "run") == 0) return cmd_run(nrest, rest);
       if (std::strcmp(cmd, "sweep") == 0) return cmd_sweep(nrest, rest);
+      if (std::strcmp(cmd, "worker") == 0) return cmd_worker(nrest, rest);
       if (std::strcmp(cmd, "merge") == 0) return cmd_merge(nrest, rest);
       if (std::strcmp(cmd, "list-workloads") == 0) return cmd_list_workloads(nrest, rest);
       if (std::strcmp(cmd, "list-algorithms") == 0) return cmd_list_algorithms(nrest, rest);
