@@ -2,9 +2,9 @@
 // Row-Wise-SpMM for every unique conv-layer GEMM of ResNet50, at 1:4 and
 // 2:4 structured sparsity. Speedups are normalized to Row-Wise-SpMM, as in
 // the paper; both kernels use the B-stationary dataflow with 4-way
-// unrolling and L=16 preloaded B rows. The layer list comes from the
-// workload registry ("resnet50" suite); all measurements run concurrently
-// on a BatchRunner pool.
+// unrolling and L=16 preloaded B rows. The layer list is re-derived from
+// the "resnet50" model graph's typed layer records; all measurements run
+// concurrently on a BatchRunner pool.
 #include <cstdio>
 
 #include "bench_util.h"
@@ -14,7 +14,7 @@ int main() {
   using namespace indexmac::bench;
 
   const timing::ProcessorConfig proc{};
-  const workloads::Suite& suite = workloads::suite("resnet50");
+  const workloads::ModelGraph& graph = workloads::model_graph("resnet50");
 
   print_section("Fig. 4: ResNet50 per-layer speedup (Proposed vs Row-Wise-SpMM)");
   std::printf("Paper reports: 1:4 sparsity 1.60x-2.15x, 2:4 sparsity 1.63x-1.99x,\n"
@@ -23,10 +23,10 @@ int main() {
   // Both sparsities of one layer sit adjacently in the query list.
   core::BatchRunner pool;
   std::vector<LayerQuery> queries;
-  queries.reserve(suite.workloads.size() * 2);
-  for (const auto& layer : suite.workloads) {
-    queries.push_back({layer.dims, sparse::kSparsity14, proc});
-    queries.push_back({layer.dims, sparse::kSparsity24, proc});
+  queries.reserve(graph.layers.size() * 2);
+  for (const auto& layer : graph.layers) {
+    queries.push_back({layer.gemm, sparse::kSparsity14, proc});
+    queries.push_back({layer.gemm, sparse::kSparsity24, proc});
   }
   print_pool_note(queries.size() * 2, pool);
   const auto measured = measure_layers(pool, queries);
@@ -37,11 +37,11 @@ int main() {
   double min14 = 1e30, max14 = 0, min24 = 1e30, max24 = 0;
   double geo14 = 0, geo24 = 0;
   int idx = 0;
-  for (const auto& layer : suite.workloads) {
+  for (const auto& layer : graph.layers) {
     const auto& m14 = measured[static_cast<std::size_t>(idx) * 2];
     const auto& m24 = measured[static_cast<std::size_t>(idx) * 2 + 1];
-    table.add_row({std::to_string(++idx), layer.name, dims_label(layer.dims),
-                   std::to_string(layer.count), fmt_speedup(m14.speedup()),
+    table.add_row({std::to_string(++idx), layer.name, dims_label(layer.gemm),
+                   std::to_string(layer.repeat), fmt_speedup(m14.speedup()),
                    fmt_speedup(m24.speedup())});
     min14 = std::min(min14, m14.speedup());
     max14 = std::max(max14, m14.speedup());
@@ -51,7 +51,7 @@ int main() {
     geo24 += std::log(m24.speedup());
   }
   std::printf("%s\n", table.to_string().c_str());
-  const double n = static_cast<double>(suite.workloads.size());
+  const double n = static_cast<double>(graph.layers.size());
   std::printf("1:4 sparsity: speedup range %.2fx-%.2fx, geomean %.2fx\n", min14, max14,
               std::exp(geo14 / n));
   std::printf("2:4 sparsity: speedup range %.2fx-%.2fx, geomean %.2fx\n", min24, max24,

@@ -2,9 +2,9 @@
 // Row-Wise-SpMM for ResNet50, DenseNet121 and InceptionV3 at 1:4 and 2:4
 // structured sparsity. Network time = sum over conv layers of per-layer
 // cycles (unique GEMM shapes measured once, weighted by multiplicity).
-// Layer lists come from the workload registry; every layer of every
-// network at both sparsities is one batch job, so the whole figure is
-// measured in a single multi-core sweep.
+// Layer lists are re-derived from each network's model graph; every layer
+// of every network at both sparsities is one batch job, so the whole
+// figure is measured in a single multi-core sweep.
 #include <cstdio>
 
 #include "bench_util.h"
@@ -21,14 +21,14 @@ struct NetworkResult {
 
 /// Weighted per-network totals from the index-aligned measurement slice
 /// starting at `first`.
-NetworkResult accumulate_network(const std::vector<workloads::Workload>& layers,
+NetworkResult accumulate_network(const std::vector<workloads::LayerRecord>& layers,
                                  const std::vector<LayerMeasurement>& measured,
                                  std::size_t first) {
   NetworkResult total;
   for (std::size_t i = 0; i < layers.size(); ++i) {
     const auto& m = measured[first + i];
-    total.rowwise += m.rowwise_cycles * layers[i].count;
-    total.proposed += m.proposed_cycles * layers[i].count;
+    total.rowwise += m.rowwise_cycles * layers[i].repeat;
+    total.proposed += m.proposed_cycles * layers[i].repeat;
   }
   return total;
 }
@@ -46,9 +46,9 @@ int main() {
   core::BatchRunner pool;
   std::vector<LayerQuery> queries;
   for (const char* name : suite_names) {
-    const workloads::Suite& suite = workloads::suite(name);
+    const workloads::ModelGraph& graph = workloads::model_graph(name);
     for (const auto sp : {sparse::kSparsity14, sparse::kSparsity24})
-      for (const auto& layer : suite.workloads) queries.push_back({layer.dims, sp, proc});
+      for (const auto& layer : graph.layers) queries.push_back({layer.gemm, sp, proc});
   }
   print_pool_note(queries.size() * 2, pool);
   const auto measured = measure_layers(pool, queries);
@@ -59,14 +59,14 @@ int main() {
   int n = 0;
   std::size_t cursor = 0;
   for (const char* name : suite_names) {
-    const workloads::Suite& suite = workloads::suite(name);
-    const auto& layers = suite.workloads;
+    const workloads::ModelGraph& graph = workloads::model_graph(name);
+    const auto& layers = graph.layers;
     const NetworkResult r14 = accumulate_network(layers, measured, cursor);
     const NetworkResult r24 = accumulate_network(layers, measured, cursor + layers.size());
     cursor += layers.size() * 2;
     const double s14 = r14.rowwise / r14.proposed;
     const double s24 = r24.rowwise / r24.proposed;
-    table.add_row({suite.display_name, std::to_string(suite.source_layers), fmt_speedup(s14),
+    table.add_row({graph.display_name, std::to_string(graph.layer_count()), fmt_speedup(s14),
                    fmt_speedup(s24)});
     sum14 += s14;
     sum24 += s24;

@@ -1,8 +1,8 @@
 // Figure 6: total memory accesses of the proposed kernel normalized to
 // Row-Wise-SpMM, per CNN, at 1:4 and 2:4 structured sparsity. Counts are
 // data-side memory operations (vector loads/stores; the kernels make no
-// scalar data accesses), summed over all conv layers of the registry's
-// CNN suites.
+// scalar data accesses), summed over all conv-layer records of the
+// registry's CNN model graphs.
 //
 // The counts are structure-determined (kernels::predict_*_footprint);
 // tests/test_runner.cpp verifies them against dynamic simulation.
@@ -20,25 +20,26 @@ struct AccessTotals {
   std::uint64_t proposed = 0;
 };
 
-AccessTotals count_suite(const workloads::Suite& suite, sparse::Sparsity sp) {
+AccessTotals count_model(const workloads::ModelGraph& graph, sparse::Sparsity sp) {
   AccessTotals total;
-  for (const auto& layer : suite.workloads) {
+  for (const auto& layer : graph.layers) {
     AddressAllocator alloc;
-    const auto layout = kernels::make_layout(layer.dims, sp, 16, alloc);
+    const auto layout = kernels::make_layout(layer.gemm, sp, 16, alloc);
     const auto fp2 = kernels::predict_rowwise_footprint(layout);
     const auto fp3 = kernels::predict_indexmac_footprint(layout);
-    total.rowwise += (fp2.vector_loads + fp2.vector_stores) * layer.count;
-    total.proposed += (fp3.vector_loads + fp3.vector_stores) * layer.count;
+    total.rowwise += (fp2.vector_loads + fp2.vector_stores) * layer.repeat;
+    total.proposed += (fp3.vector_loads + fp3.vector_stores) * layer.repeat;
   }
   return total;
 }
 
-/// The counts are analytic (no simulation), but each (suite, sparsity)
+/// The counts are analytic (no simulation), but each (model, sparsity)
 /// cell is still independent work — run them through the pool's generic
 /// task interface.
-std::future<AccessTotals> count_async(core::BatchRunner& pool, const workloads::Suite& suite,
+std::future<AccessTotals> count_async(core::BatchRunner& pool,
+                                      const workloads::ModelGraph& graph,
                                       sparse::Sparsity sp) {
-  return pool.submit([&suite, sp] { return count_suite(suite, sp); });
+  return pool.submit([&graph, sp] { return count_model(graph, sp); });
 }
 
 }  // namespace
@@ -58,17 +59,17 @@ int main() {
   indexmac::core::BatchRunner pool;
   std::vector<std::future<AccessTotals>> f14, f24;
   for (const char* name : suite_names) {
-    const workloads::Suite& suite = workloads::suite(name);
-    f14.push_back(count_async(pool, suite, sparse::kSparsity14));
-    f24.push_back(count_async(pool, suite, sparse::kSparsity24));
+    const workloads::ModelGraph& graph = workloads::model_graph(name);
+    f14.push_back(count_async(pool, graph, sparse::kSparsity14));
+    f24.push_back(count_async(pool, graph, sparse::kSparsity24));
   }
   for (std::size_t mi = 0; mi < std::size(suite_names); ++mi) {
-    const workloads::Suite& suite = workloads::suite(suite_names[mi]);
+    const workloads::ModelGraph& graph = workloads::model_graph(suite_names[mi]);
     const AccessTotals t14 = f14[mi].get();
     const AccessTotals t24 = f24[mi].get();
     const double n14 = static_cast<double>(t14.proposed) / static_cast<double>(t14.rowwise);
     const double n24 = static_cast<double>(t24.proposed) / static_cast<double>(t24.rowwise);
-    table.add_row({suite.display_name, fmt_fixed(n14, 3), fmt_fixed((1 - n14) * 100, 1) + "%",
+    table.add_row({graph.display_name, fmt_fixed(n14, 3), fmt_fixed((1 - n14) * 100, 1) + "%",
                    fmt_fixed(n24, 3), fmt_fixed((1 - n24) * 100, 1) + "%"});
     sum14 += n14;
     sum24 += n24;

@@ -559,7 +559,7 @@ std::string report_to_csv(const SweepReport& report) {
   return out;
 }
 
-std::string report_to_json(const SweepReport& report) {
+JsonValue report_json_doc(const SweepReport& report) {
   JsonValue doc = JsonValue::make_object();
   doc.set("spec", JsonValue(report.spec_name));
   char hash[24];
@@ -586,7 +586,11 @@ std::string report_to_json(const SweepReport& report) {
     rows.push_back(std::move(r));
   }
   doc.set("rows", std::move(rows));
-  return doc.dump() + "\n";
+  return doc;
+}
+
+std::string report_to_json(const SweepReport& report) {
+  return report_json_doc(report).dump() + "\n";
 }
 
 SweepReport parse_csv_report(const std::string& csv) {
@@ -600,6 +604,10 @@ SweepReport parse_csv_report(const std::string& csv) {
     start = end + 1;
     if (line.empty()) continue;
     if (line[0] == '#') {
+      // A "# rollup" marker ends the point data: everything after it is
+      // derived network totals (core/rollup.h), re-computable from the
+      // rows above and deliberately not round-tripped.
+      if (line.rfind("# rollup", 0) == 0) break;
       const std::size_t spec_at = line.find("spec=");
       if (spec_at != std::string::npos) {
         const std::size_t sp_end = line.find(' ', spec_at);

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "core/batch.h"
 #include "core/result_store.h"
 #include "workloads/workloads.h"
@@ -235,6 +236,10 @@ void accumulate_results(const ResultStore& store, std::map<std::string, StoredRe
 
 /// Stable JSON rendition of the same rows.
 [[nodiscard]] std::string report_to_json(const SweepReport& report);
+
+/// The JSON report as a document, for callers that append sections (the
+/// rollup mode) before serializing. report_to_json == dump(doc) + "\n".
+[[nodiscard]] JsonValue report_json_doc(const SweepReport& report);
 
 /// Parses a CSV produced by report_to_csv (the `report` CLI subcommand and
 /// round-trip tests); throws SimError on malformed input.

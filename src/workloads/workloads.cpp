@@ -1,6 +1,7 @@
 #include "workloads/workloads.h"
 
 #include <algorithm>
+#include <deque>
 
 #include "cnn/conv_layer.h"
 #include "common/error.h"
@@ -13,91 +14,152 @@ using kernels::GemmDims;
 const std::vector<sparse::Sparsity> kPaperSparsities = {sparse::kSparsity14,
                                                         sparse::kSparsity24};
 
-/// Converts one CNN model into a suite via the im2col GEMM mapping,
-/// deduplicating identical shapes exactly like cnn::unique_gemms so the
-/// figure benches reproduce their pre-registry numbers.
-Suite from_cnn(const cnn::CnnModel& model, std::string name, std::string description) {
-  Suite out;
-  out.name = std::move(name);
-  out.display_name = model.name;
-  out.description = std::move(description);
-  out.source_layers = model.layers.size();
-  out.sparsities = kPaperSparsities;
-  for (const cnn::LayerGemm& layer : cnn::unique_gemms(model))
-    out.workloads.push_back({layer.representative.name, layer.dims, layer.count});
-  return out;
-}
-
 /// Encoder-transformer GEMMs under weight sparsity: A is the [out x in]
 /// projection weight, B the [in x seq] activation block, so only the four
 /// per-layer weight GEMMs appear (QK^T / PV score GEMMs multiply two dense
 /// activations and are outside the N:M weight-pruning scheme).
-Suite transformer_suite(std::string name, std::string display, std::string description,
-                        unsigned layers, unsigned hidden, unsigned ffn, unsigned seq) {
-  Suite out;
+ModelGraph transformer_graph(std::string name, std::string display, std::string description,
+                             unsigned layers, unsigned hidden, unsigned ffn, unsigned seq) {
+  ModelGraph out;
   out.name = std::move(name);
   out.display_name = std::move(display);
   out.description = std::move(description);
-  out.source_layers = layers;
-  out.sparsities = kPaperSparsities;
-  out.workloads = {
-      {"attention.qkv_proj", {hidden, hidden, seq}, 3 * layers},
-      {"attention.out_proj", {hidden, hidden, seq}, layers},
-      {"mlp.up_proj", {ffn, hidden, seq}, layers},
-      {"mlp.down_proj", {hidden, ffn, seq}, layers},
+  out.default_sparsities = kPaperSparsities;
+  const SparsityProfile sp = SparsityProfile::declared(kPaperSparsities.front());
+  out.layers = {
+      {"attention.qkv_proj", LayerKind::kAttentionProj, {hidden, hidden, seq}, 3 * layers, sp},
+      {"attention.out_proj", LayerKind::kAttentionProj, {hidden, hidden, seq}, layers, sp},
+      {"mlp.up_proj", LayerKind::kLinear, {ffn, hidden, seq}, layers, sp},
+      {"mlp.down_proj", LayerKind::kLinear, {hidden, ffn, seq}, layers, sp},
   };
   return out;
 }
 
-Suite bert_base() {
-  return transformer_suite(
+ModelGraph bert_base() {
+  return transformer_graph(
       "bert-base", "BERT-base",
       "BERT-base encoder projection GEMMs (12 layers, hidden 768, seq 128)",
       /*layers=*/12, /*hidden=*/768, /*ffn=*/3072, /*seq=*/128);
 }
 
-Suite vit_base() {
-  Suite out = transformer_suite(
+ModelGraph vit_base() {
+  ModelGraph out = transformer_graph(
       "vit-base", "ViT-B/16",
       "ViT-B/16 encoder GEMMs (12 layers, hidden 768, 197 tokens @224x224)",
       /*layers=*/12, /*hidden=*/768, /*ffn=*/3072, /*seq=*/197);
+  const SparsityProfile sp = SparsityProfile::declared(kPaperSparsities.front());
   // Patch embedding: a 16x16/s16 conv == [768 x 3*16*16] x [768 x 196] GEMM.
-  out.workloads.insert(out.workloads.begin(), {"patch_embed", {768, 768, 196}, 1});
-  out.workloads.push_back({"head", {1000, 768, 1}, 1});
+  out.layers.insert(out.layers.begin(),
+                    {"patch_embed", LayerKind::kConv, {768, 768, 196}, 1, sp});
+  out.layers.push_back({"head", LayerKind::kLinear, {1000, 768, 1}, 1, sp});
   return out;
 }
 
-Suite tiny() {
-  Suite out;
-  out.name = "tiny";
-  out.display_name = "tiny";
-  out.description = "CI-sized shapes for golden-file regression tests (exact-mode friendly)";
-  out.sparsities = kPaperSparsities;
-  out.workloads = {
-      {"tiny.square", {16, 64, 32}, 1},
-      {"tiny.wide", {8, 32, 48}, 2},
-      {"tiny.ragged", {12, 48, 20}, 1},  // cols_b % 16 != 0: exercises the tail path
+/// LLM decode step (Llama-3-8B-class geometry, GQA 32q/8kv heads, batch 8):
+/// the skinny-activation GEMMs that dominate modern inference traffic.
+/// cols_b is the decode batch — far below one vector strip — so these
+/// shapes exercise the kernels' tail-only path at production row counts.
+/// Evaluated at 2:4 and the coarser 2:8 the decode-bound regime favors.
+ModelGraph llm_decode() {
+  ModelGraph out;
+  out.name = "llm-decode";
+  out.display_name = "LLM-decode";
+  out.description =
+      "LLM decode-step GEMMs (8B-class GQA geometry, batch 8, skinny activations)";
+  out.default_sparsities = {sparse::kSparsity24, sparse::Sparsity{2, 8}};
+  const SparsityProfile sp = SparsityProfile::declared(out.default_sparsities.front());
+  const unsigned layers = 32, hidden = 4096, kv = 1024, ffn = 14336, batch = 8;
+  out.layers = {
+      {"attn.q_proj", LayerKind::kAttentionProj, {hidden, hidden, batch}, layers, sp},
+      {"attn.kv_proj", LayerKind::kAttentionProj, {kv, hidden, batch}, 2 * layers, sp},
+      {"attn.o_proj", LayerKind::kAttentionProj, {hidden, hidden, batch}, layers, sp},
+      {"mlp.gate_up_proj", LayerKind::kLinear, {ffn, hidden, batch}, 2 * layers, sp},
+      {"mlp.down_proj", LayerKind::kLinear, {hidden, ffn, batch}, layers, sp},
+      {"lm_head", LayerKind::kLinear, {128256, hidden, batch}, 1, sp},
   };
   return out;
 }
 
-const std::vector<Suite>& registry() {
-  static const std::vector<Suite> suites = [] {
-    std::vector<Suite> out;
-    out.push_back(from_cnn(cnn::resnet50(), "resnet50",
-                           "ResNet50 conv GEMMs, ImageNet geometry (paper Figs. 4-6)"));
-    out.push_back(from_cnn(cnn::densenet121(), "densenet121",
-                           "DenseNet121 conv GEMMs, ImageNet geometry (paper Figs. 5-6)"));
-    out.push_back(from_cnn(cnn::inceptionv3(), "inceptionv3",
-                           "InceptionV3 conv GEMMs, 299x299 geometry (paper Figs. 5-6)"));
-    out.push_back(from_cnn(cnn::mobilenetv1(), "mobilenetv1",
-                           "MobileNetV1 depthwise/pointwise GEMMs (width 1.0, 224x224)"));
-    out.push_back(bert_base());
-    out.push_back(vit_base());
-    out.push_back(tiny());
+ModelGraph tiny() {
+  ModelGraph out;
+  out.name = "tiny";
+  out.display_name = "tiny";
+  out.description = "CI-sized shapes for golden-file regression tests (exact-mode friendly)";
+  out.default_sparsities = kPaperSparsities;
+  const SparsityProfile sp = SparsityProfile::declared(kPaperSparsities.front());
+  out.layers = {
+      {"tiny.square", LayerKind::kLinear, {16, 64, 32}, 1, sp},
+      {"tiny.wide", LayerKind::kLinear, {8, 32, 48}, 2, sp},
+      // cols_b % 16 != 0: exercises the tail path.
+      {"tiny.ragged", LayerKind::kLinear, {12, 48, 20}, 1, sp},
+  };
+  return out;
+}
+
+/// A registered model: the IR plus the Suite view derived from it.
+struct Entry {
+  ModelGraph graph;
+  Suite view;
+};
+
+/// Derives the flat Suite view of a graph and checks the registry-wide
+/// invariant that source_layers equals the count-weighted layer total.
+Suite view_of(const ModelGraph& graph) {
+  Suite out;
+  out.name = graph.name;
+  out.display_name = graph.display_name;
+  out.description = graph.description;
+  out.source_layers = graph.layer_count();
+  out.sparsities = graph.default_sparsities;
+  std::size_t weighted = 0;
+  for (const LayerRecord& layer : graph.layers) {
+    out.workloads.push_back({layer.name, layer.gemm, layer.repeat});
+    weighted += layer.repeat;
+  }
+  IMAC_CHECK(out.source_layers == weighted,
+             "suite \"" + out.name + "\" source_layers diverged from its layer records");
+  return out;
+}
+
+/// Registration store. A deque so `suite()` / `model_graph()` references
+/// survive later register_model() calls (no reallocation of entries).
+std::deque<Entry>& registry() {
+  static std::deque<Entry> entries = [] {
+    std::deque<Entry> out;
+    auto add = [&out](ModelGraph graph) {
+      graph.validate();
+      Entry e{std::move(graph), {}};
+      e.view = view_of(e.graph);
+      out.push_back(std::move(e));
+    };
+    add(graph_from_cnn(cnn::resnet50(), "resnet50",
+                       "ResNet50 conv GEMMs, ImageNet geometry (paper Figs. 4-6)",
+                       kPaperSparsities));
+    add(graph_from_cnn(cnn::densenet121(), "densenet121",
+                       "DenseNet121 conv GEMMs, ImageNet geometry (paper Figs. 5-6)",
+                       kPaperSparsities));
+    add(graph_from_cnn(cnn::inceptionv3(), "inceptionv3",
+                       "InceptionV3 conv GEMMs, 299x299 geometry (paper Figs. 5-6)",
+                       kPaperSparsities));
+    add(graph_from_cnn(cnn::mobilenetv1(), "mobilenetv1",
+                       "MobileNetV1 depthwise/pointwise GEMMs (width 1.0, 224x224)",
+                       kPaperSparsities));
+    add(bert_base());
+    add(vit_base());
+    add(llm_decode());
+    add(tiny());
     return out;
   }();
-  return suites;
+  return entries;
+}
+
+std::string known_names() {
+  std::string known;
+  for (const Entry& e : registry()) {
+    if (!known.empty()) known += ", ";
+    known += e.graph.name;
+  }
+  return known;
 }
 
 }  // namespace
@@ -109,30 +171,37 @@ std::uint64_t Suite::total_macs() const {
   return total;
 }
 
-const std::vector<std::string>& suite_names() {
-  static const std::vector<std::string> names = [] {
-    std::vector<std::string> out;
-    for (const Suite& s : registry()) out.push_back(s.name);
-    return out;
-  }();
-  return names;
+std::vector<std::string> suite_names() {
+  std::vector<std::string> out;
+  for (const Entry& e : registry()) out.push_back(e.graph.name);
+  return out;
 }
 
 bool has_suite(const std::string& name) {
-  for (const Suite& s : registry())
-    if (s.name == name) return true;
+  for (const Entry& e : registry())
+    if (e.graph.name == name) return true;
   return false;
 }
 
 const Suite& suite(const std::string& name) {
-  for (const Suite& s : registry())
-    if (s.name == name) return s;
-  std::string known;
-  for (const std::string& n : suite_names()) {
-    if (!known.empty()) known += ", ";
-    known += n;
-  }
-  raise("unknown workload suite \"" + name + "\" (known: " + known + ")");
+  for (const Entry& e : registry())
+    if (e.view.name == name) return e.view;
+  raise("unknown workload suite \"" + name + "\" (known: " + known_names() + ")");
+}
+
+const ModelGraph& model_graph(const std::string& name) {
+  for (const Entry& e : registry())
+    if (e.graph.name == name) return e.graph;
+  raise("unknown workload suite \"" + name + "\" (known: " + known_names() + ")");
+}
+
+void register_model(ModelGraph graph) {
+  graph.validate();
+  IMAC_CHECK(!has_suite(graph.name),
+             "model \"" + graph.name + "\" is already registered");
+  Entry e{std::move(graph), {}};
+  e.view = view_of(e.graph);
+  registry().push_back(std::move(e));
 }
 
 std::vector<WorkloadInstance> expand(const Suite& s) {
@@ -159,8 +228,10 @@ sparse::Sparsity parse_sparsity(const std::string& label) {
     IMAC_CHECK(c >= '0' && c <= '9', "sparsity must be \"N:M\", got \"" + label + "\"");
     unsigned& field = i < colon ? n : m;
     field = field * 10 + static_cast<unsigned>(c - '0');
+    IMAC_CHECK(field <= 4096, "sparsity label \"" + label + "\" is out of range (fields must be <= 4096)");
   }
-  IMAC_CHECK(n >= 1 && m >= n, "sparsity must satisfy 1 <= N <= M, got \"" + label + "\"");
+  IMAC_CHECK(n >= 1, "sparsity \"" + label + "\" is degenerate: N must be >= 1");
+  IMAC_CHECK(n < m, "sparsity \"" + label + "\" is degenerate: N must be < M (N == M is dense)");
   return sparse::Sparsity{n, m};
 }
 

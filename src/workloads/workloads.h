@@ -1,13 +1,13 @@
 // Workload registry: named suites of GEMM shapes the simulator evaluates.
 //
-// The paper's evaluation is CNN-only (ResNet50/DenseNet121/InceptionV3
-// im2col GEMMs); the registry generalizes those hard-coded tables into a
-// single catalog that also covers MobileNetV1-style depthwise/pointwise
-// GEMMs and transformer (BERT-base / ViT-base) attention/MLP projection
-// GEMMs under 1:4 and 2:4 structured sparsity, the shapes evaluated by the
-// related structured-sparse RVV work (see PAPERS.md). Benches, the sweep
-// engine and the CLI all pull their layer lists from here, so adding a
-// suite makes it sweepable everywhere at once.
+// Every suite is a thin view over a registered ModelGraph (model_ir.h):
+// the paper's CNN tables (ResNet50/DenseNet121/InceptionV3 im2col GEMMs),
+// MobileNetV1-style depthwise/pointwise GEMMs, transformer (BERT-base /
+// ViT-base) attention/MLP projection GEMMs, LLM-decode skinny-activation
+// GEMMs, and any model imported from a pruned checkpoint at runtime
+// (model_import.h). Benches, the sweep engine and the CLI all re-derive
+// their layer lists from the registered graphs, so registering a model
+// makes it sweepable everywhere at once.
 #pragma once
 
 #include <string>
@@ -15,24 +15,27 @@
 
 #include "kernels/layout.h"
 #include "sparse/nm_matrix.h"
+#include "workloads/model_ir.h"
 
 namespace indexmac::workloads {
 
 /// One named GEMM workload: a shape plus its multiplicity within the suite
 /// (identical shapes cost identical simulated time, so each is measured
-/// once and weighted by `count`).
+/// once and weighted by `count`). Derived 1:1 from a LayerRecord.
 struct Workload {
   std::string name;
   kernels::GemmDims dims;
   unsigned count = 1;
 };
 
-/// A named collection of workloads (one network / benchmark family).
+/// A named collection of workloads (one network / benchmark family): the
+/// flattened view of a ModelGraph that shape-oriented consumers iterate.
 struct Suite {
   std::string name;          ///< registry key (lowercase, CLI-friendly)
   std::string display_name;  ///< paper-style name for tables ("ResNet50")
   std::string description;
-  /// Layer count of the source network (0 when not derived from one).
+  /// Count-weighted layer total of the source network
+  /// (== ModelGraph::layer_count(); asserted at registration).
   std::size_t source_layers = 0;
   /// Sparsity patterns the suite is evaluated under by default.
   std::vector<sparse::Sparsity> sparsities;
@@ -42,13 +45,23 @@ struct Suite {
   [[nodiscard]] std::uint64_t total_macs() const;
 };
 
-/// Registered suite names, in registration order.
-[[nodiscard]] const std::vector<std::string>& suite_names();
+/// Registered suite names, in registration order (built-ins first, then
+/// runtime-registered models). By value: register_model may extend the set.
+[[nodiscard]] std::vector<std::string> suite_names();
 
 [[nodiscard]] bool has_suite(const std::string& name);
 
 /// Looks a suite up by name; throws SimError listing the known names.
+/// References stay valid across register_model calls.
 [[nodiscard]] const Suite& suite(const std::string& name);
+
+/// The IR behind a suite; throws SimError listing the known names.
+[[nodiscard]] const ModelGraph& model_graph(const std::string& name);
+
+/// Registers a model (validated) and derives its Suite view. Throws
+/// SimError on a duplicate name. Used by `imac_run sweep --import` to make
+/// checkpoint-derived models sweepable next to the built-ins.
+void register_model(ModelGraph graph);
 
 /// One (shape, sparsity) evaluation point of a suite's default grid.
 struct WorkloadInstance {
@@ -67,7 +80,9 @@ struct WorkloadInstance {
 [[nodiscard]] kernels::GemmDims shrink(const kernels::GemmDims& dims,
                                        const kernels::GemmDims& cap);
 
-/// Parses "1:4"-style sparsity labels; throws SimError on anything else.
+/// Parses "1:4"-style sparsity labels. Throws SimError naming the label on
+/// anything degenerate: non-digit characters, N == 0, N >= M (a dense or
+/// over-full pattern), or fields beyond 4096.
 [[nodiscard]] sparse::Sparsity parse_sparsity(const std::string& label);
 
 /// Renders a Sparsity back to its "N:M" label.

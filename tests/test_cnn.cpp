@@ -141,6 +141,41 @@ TEST(Inceptionv3, MixedBlockInputChannels) {
   EXPECT_EQ(find("Mixed_6b.branch7x7_2").gemm().cols_b, 17u * 17);
 }
 
+TEST(Inceptionv3, FactorizedConvIm2colMatchesHandComputation) {
+  // The 1x7 / 7x1 factorized pair of Mixed_6b.branch7x7, im2col'd by hand.
+  // branch7x7_2: 128 -> 128, 1x7 kernel, pad (0,3), 17x17 input:
+  //   out = 17x17 (height untouched, width padded back to 17),
+  //   A = [128 x 128*1*7], B columns = 289.
+  // branch7x7_3: 128 -> 192, 7x1 kernel, pad (3,0) — the transpose-shaped
+  // sibling with the same k.
+  const auto model = inceptionv3();
+  const ConvLayer* h = nullptr;
+  const ConvLayer* v = nullptr;
+  for (const ConvLayer& l : model.layers) {
+    if (l.name == "Mixed_6b.branch7x7_2") h = &l;
+    if (l.name == "Mixed_6b.branch7x7_3") v = &l;
+  }
+  ASSERT_NE(h, nullptr);
+  ASSERT_NE(v, nullptr);
+
+  EXPECT_EQ(h->kernel_h, 1u);
+  EXPECT_EQ(h->kernel_w, 7u);
+  EXPECT_EQ(h->out_h(), 17u);
+  EXPECT_EQ(h->out_w(), (17u + 2 * 3 - 7) / 1 + 1);  // 17
+  EXPECT_EQ(h->gemm().rows_a, 128u);
+  EXPECT_EQ(h->gemm().k, 128u * 1 * 7);
+  EXPECT_EQ(h->gemm().cols_b, 289u);
+  EXPECT_EQ(h->macs(), 128ull * 896 * 289);
+
+  EXPECT_EQ(v->kernel_h, 7u);
+  EXPECT_EQ(v->kernel_w, 1u);
+  EXPECT_EQ(v->pad_h, 3u);
+  EXPECT_EQ(v->pad_w, 0u);
+  EXPECT_EQ(v->gemm().rows_a, 192u);
+  EXPECT_EQ(v->gemm().k, 128u * 7 * 1);
+  EXPECT_EQ(v->gemm().cols_b, 289u);
+}
+
 TEST(UniqueGemms, GroupsRepeatedShapes) {
   const auto model = resnet50();
   const auto groups = unique_gemms(model);

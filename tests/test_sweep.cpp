@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/json.h"
+#include "core/rollup.h"
 #include "core/runner.h"
 
 namespace indexmac::core {
@@ -391,6 +392,104 @@ TEST(SweepReportFormats, ParserRejectsCorruptHeaderHash) {
   // Shorter-than-16 but valid hex still parses (forward compat with
   // hand-written files).
   EXPECT_EQ(parse_csv_report(with_hash("ff")).spec_hash, 0xffu);
+}
+
+/// Synthetic measured row for rollup unit tests; everything not passed in
+/// stays at the grouping defaults (2:4, b-stationary, unroll 4, L=16).
+SweepRow rollup_row(const char* suite, const char* workload, unsigned count,
+                    Algorithm algorithm, double cycles, std::uint64_t accesses) {
+  SweepRow row;
+  row.point.suite = suite;
+  row.point.workload = workload;
+  row.point.count = count;
+  row.point.dims = {8, 16, 8};
+  row.point.sp = sparse::kSparsity24;
+  row.point.config.algorithm = algorithm;
+  row.point.mode = SweepMode::kExact;
+  row.cycles = cycles;
+  row.data_accesses = accesses;
+  return row;
+}
+
+TEST(Rollup, FoldsCountWeightedNetworkTotals) {
+  SweepReport report;
+  report.spec_name = "unit";
+  report.spec_hash = 0x1234;
+  // Two shapes of one network, multiplicities 3 and 2: the rollup answers
+  // for all 5 layer instances.
+  report.rows.push_back(rollup_row("net", "a", 3, Algorithm::kIndexmac, 100, 40));
+  report.rows.push_back(rollup_row("net", "b", 2, Algorithm::kIndexmac, 50, 10));
+  const RollupReport rollup = compute_rollup(report);
+  EXPECT_EQ(rollup.spec_name, "unit");
+  EXPECT_EQ(rollup.spec_hash, 0x1234u);
+  ASSERT_EQ(rollup.rows.size(), 1u);
+  const RollupRow& r = rollup.rows[0];
+  EXPECT_EQ(r.suite, "net");
+  EXPECT_EQ(r.layers, 5u);
+  EXPECT_EQ(r.workloads, 2u);
+  EXPECT_DOUBLE_EQ(r.cycles, 100.0 * 3 + 50.0 * 2);
+  EXPECT_EQ(r.data_accesses, 40u * 3 + 10u * 2);
+  EXPECT_EQ(r.energy_proxy_bytes(), (40u * 3 + 10u * 2) * 64);
+}
+
+TEST(Rollup, SplitsGroupsByEveryKeyField) {
+  SweepReport report;
+  report.rows.push_back(rollup_row("net", "a", 1, Algorithm::kIndexmac, 10, 1));
+  report.rows.push_back(rollup_row("net", "a", 1, Algorithm::kRowwiseSpmm, 20, 2));
+  SweepRow other_sp = rollup_row("net", "a", 1, Algorithm::kIndexmac, 30, 3);
+  other_sp.point.sp = sparse::kSparsity14;
+  report.rows.push_back(other_sp);
+  SweepRow other_suite = rollup_row("net2", "a", 1, Algorithm::kIndexmac, 40, 4);
+  report.rows.push_back(other_suite);
+  SweepRow other_unroll = rollup_row("net", "a", 1, Algorithm::kIndexmac, 50, 5);
+  other_unroll.point.config.kernel.unroll = 1;
+  report.rows.push_back(other_unroll);
+  const RollupReport rollup = compute_rollup(report);
+  // Five rows, five distinct groups, first-occurrence order.
+  ASSERT_EQ(rollup.rows.size(), 5u);
+  EXPECT_EQ(rollup.rows[0].algorithm, Algorithm::kIndexmac);
+  EXPECT_EQ(rollup.rows[1].algorithm, Algorithm::kRowwiseSpmm);
+  EXPECT_EQ(rollup.rows[2].sp, sparse::kSparsity14);
+  EXPECT_EQ(rollup.rows[3].suite, "net2");
+  EXPECT_EQ(rollup.rows[4].unroll, 1u);
+  for (const RollupRow& r : rollup.rows) EXPECT_EQ(r.workloads, 1u);
+}
+
+TEST(Rollup, CsvSectionAppendsAfterPointRowsAndParserStopsAtMarker) {
+  const SweepSpec spec = parse_sweep_spec(kTinySpec);
+  const SweepReport report = run_sweep(spec, 2);
+  const std::string plain_csv = report_to_csv(report);
+  const std::string rollup_csv = rollup_to_csv(compute_rollup(report));
+  // The section starts with the marker and renders deterministically.
+  EXPECT_EQ(rollup_csv.rfind(kRollupMarkerPrefix, 0), 0u);
+  EXPECT_EQ(rollup_csv, rollup_to_csv(compute_rollup(report)));
+  // A rollup-bearing CSV parses to exactly the point rows: the parser
+  // treats the marker as end-of-data, so merge/report/round-trip all keep
+  // working on files written by `sweep --rollup`.
+  const SweepReport parsed = parse_csv_report(plain_csv + rollup_csv);
+  ASSERT_EQ(parsed.rows.size(), report.rows.size());
+  EXPECT_EQ(report_to_csv(parsed), plain_csv);
+}
+
+TEST(Rollup, JsonReportCarriesRollupSection) {
+  const SweepSpec spec = parse_sweep_spec(kTinySpec);
+  const SweepReport report = run_sweep(spec, 2);
+  const RollupReport rollup = compute_rollup(report);
+  const std::string json = report_to_json_with_rollup(report, rollup);
+  const JsonValue doc = parse_json(json);
+  // The base document is unchanged — the rollup is purely additive.
+  EXPECT_EQ(doc.at("spec").as_string(), "unit");
+  EXPECT_EQ(doc.at("rows").as_array().size(), report.rows.size());
+  const auto& rows = doc.at("rollup").as_array();
+  ASSERT_EQ(rows.size(), rollup.rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].at("suite").as_string(), rollup.rows[i].suite);
+    EXPECT_DOUBLE_EQ(rows[i].at("cycles").as_number(), rollup.rows[i].cycles);
+    EXPECT_EQ(static_cast<std::uint64_t>(rows[i].at("energy_proxy_bytes").as_number()),
+              rollup.rows[i].energy_proxy_bytes());
+    EXPECT_EQ(static_cast<std::size_t>(rows[i].at("layers").as_number()),
+              rollup.rows[i].layers);
+  }
 }
 
 }  // namespace

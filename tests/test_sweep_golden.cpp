@@ -17,6 +17,7 @@
 #include <sstream>
 
 #include "core/result_store.h"
+#include "core/rollup.h"
 #include "core/sweep.h"
 #include "locale_test_util.h"
 
@@ -66,6 +67,24 @@ TEST(SweepGolden, TinySweepReproducesCheckedInJsonByteForByte) {
   EXPECT_EQ(report_to_json(report), expected)
       << "golden JSON drifted; regenerate with:\n    imac_run sweep --spec "
          "tests/golden/tiny_sweep.json --format json --out tests/golden/tiny_sweep_report.json\n";
+}
+
+TEST(SweepGolden, TinySweepRollupReproducesCheckedInCsvByteForByte) {
+  // The network-rollup section is golden too: exact-mode cycles and access
+  // counts fold into integer network totals, so the whole rollup-bearing
+  // CSV is byte-stable like the per-point report.
+  const SweepSpec spec = parse_sweep_spec_file(golden_path("tiny_sweep.json"));
+  const std::string expected = read_file(golden_path("tiny_sweep_rollup.csv"));
+  const SweepReport report = run_sweep(spec, /*threads=*/2);
+  const std::string actual = report_to_csv(report) + rollup_to_csv(compute_rollup(report));
+  EXPECT_EQ(actual, expected)
+      << "golden rollup drifted; regenerate with:\n    imac_run sweep --spec "
+         "tests/golden/tiny_sweep.json --rollup --out tests/golden/tiny_sweep_rollup.csv\n";
+  // The point section of the rollup-bearing file IS the plain golden: the
+  // parser stops at the marker, so both artifacts stay interchangeable for
+  // merge/report/round-trip consumers.
+  EXPECT_EQ(report_to_csv(parse_csv_report(expected)),
+            read_file(golden_path("tiny_sweep.csv")));
 }
 
 TEST(SweepGolden, TwoShardsWithStoresMergeByteIdenticalToGolden) {

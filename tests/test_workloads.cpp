@@ -124,6 +124,25 @@ TEST(Workloads, ShrinkClampsEachDimension) {
   EXPECT_EQ(tiny_dims.cols_b, 20u);
 }
 
+TEST(Workloads, ShrinkCornerCases) {
+  const kernels::GemmDims cap{32, 64, 48};
+  // Every dimension exactly at the cap: unchanged.
+  const kernels::GemmDims at_cap = shrink({32, 64, 48}, cap);
+  EXPECT_EQ(at_cap.rows_a, 32u);
+  EXPECT_EQ(at_cap.k, 64u);
+  EXPECT_EQ(at_cap.cols_b, 48u);
+  // Mixed: one dimension over, one exactly at, one under the cap.
+  const kernels::GemmDims mixed = shrink({128, 64, 7}, cap);
+  EXPECT_EQ(mixed.rows_a, 32u);
+  EXPECT_EQ(mixed.k, 64u);
+  EXPECT_EQ(mixed.cols_b, 7u);
+  // Degenerate k=1 / cols_b=1 shapes survive (skinny LLM-decode limits).
+  const kernels::GemmDims skinny = shrink({4096, 1, 1}, cap);
+  EXPECT_EQ(skinny.rows_a, 32u);
+  EXPECT_EQ(skinny.k, 1u);
+  EXPECT_EQ(skinny.cols_b, 1u);
+}
+
 TEST(Workloads, SparsityLabelsRoundTrip) {
   EXPECT_EQ(parse_sparsity("1:4"), sparse::kSparsity14);
   EXPECT_EQ(parse_sparsity("2:4"), sparse::kSparsity24);
@@ -134,6 +153,66 @@ TEST(Workloads, SparsityLabelsRoundTrip) {
   EXPECT_THROW((void)parse_sparsity("4:1"), SimError);  // N > M
   EXPECT_THROW((void)parse_sparsity("0:4"), SimError);
   EXPECT_THROW((void)parse_sparsity("a:b"), SimError);
+}
+
+TEST(Workloads, ParseSparsityRejectsDegenerateLabels) {
+  // N == M is dense, not a sparsity pattern.
+  EXPECT_THROW((void)parse_sparsity("4:4"), SimError);
+  EXPECT_THROW((void)parse_sparsity("1:1"), SimError);
+  // Over-full (N > M), including the small-field case.
+  EXPECT_THROW((void)parse_sparsity("3:2"), SimError);
+  // Whitespace anywhere in the label is malformed, never trimmed.
+  EXPECT_THROW((void)parse_sparsity(" 2:4"), SimError);
+  EXPECT_THROW((void)parse_sparsity("2:4 "), SimError);
+  EXPECT_THROW((void)parse_sparsity("2 :4"), SimError);
+  EXPECT_THROW((void)parse_sparsity("2: 4"), SimError);
+  // Fields beyond the 4096 bound (including u32-overflowing digits).
+  EXPECT_THROW((void)parse_sparsity("2:4097"), SimError);
+  EXPECT_THROW((void)parse_sparsity("5000:8000"), SimError);
+  EXPECT_THROW((void)parse_sparsity("1:99999999999999999999"), SimError);
+  // The boundary itself is accepted, and errors name the offending label.
+  EXPECT_EQ(sparsity_label(parse_sparsity("2048:4096")), "2048:4096");
+  try {
+    (void)parse_sparsity("4:4");
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("4:4"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Workloads, SourceLayersMatchModelGraphCounts) {
+  // Satellite fix: source_layers comes from ModelGraph::layer_count() for
+  // every registered suite (it used to be wrong for the non-CNN suites).
+  for (const std::string& name : suite_names())
+    EXPECT_EQ(suite(name).source_layers, model_graph(name).layer_count()) << name;
+  EXPECT_EQ(suite("bert-base").source_layers, 72u);   // 6 shapes x 12 layers
+  EXPECT_EQ(suite("vit-base").source_layers, 74u);    // patch + 6x12 + head
+  EXPECT_EQ(suite("tiny").source_layers, 4u);
+  EXPECT_EQ(suite("llm-decode").source_layers, 225u);
+}
+
+TEST(Workloads, LlmDecodeCarriesGqaDecodeShapes) {
+  ASSERT_TRUE(has_suite("llm-decode"));
+  const ModelGraph& graph = model_graph("llm-decode");
+  // Decode-step activations are batch-sized (skinny): every GEMM has the
+  // same tiny cols_b.
+  for (const LayerRecord& l : graph.layers) EXPECT_EQ(l.gemm.cols_b, 8u) << l.name;
+  // GQA: the fused K/V projection is narrower than Q and repeats twice per
+  // block (K and V), 2 x 32 blocks.
+  const LayerRecord* kv = nullptr;
+  for (const LayerRecord& l : graph.layers)
+    if (l.name == "attn.kv_proj") kv = &l;
+  ASSERT_NE(kv, nullptr);
+  EXPECT_EQ(kv->kind, LayerKind::kAttentionProj);
+  EXPECT_EQ(kv->gemm.rows_a, 1024u);
+  EXPECT_EQ(kv->gemm.k, 4096u);
+  EXPECT_EQ(kv->repeat, 64u);
+  // Default evaluation grid: 2:4 plus the coarser 2:8 pattern.
+  ASSERT_EQ(graph.default_sparsities.size(), 2u);
+  EXPECT_EQ(sparsity_label(graph.default_sparsities[0]), "2:4");
+  EXPECT_EQ(sparsity_label(graph.default_sparsities[1]), "2:8");
+  // 8B-class decode step: ~60 GMACs dominated by the MLP and lm_head.
+  EXPECT_NEAR(static_cast<double>(graph.total_macs()) / 1e9, 60.0, 1.0);
 }
 
 TEST(Workloads, AllShapesAreLayoutCompatible) {

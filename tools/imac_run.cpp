@@ -10,11 +10,16 @@
 //   merge           fuse shard stores and/or shard CSV reports back into
 //                   the canonical single-process report
 //   list-workloads  show the registered workload suites (or one suite's
-//                   layer list)
+//                   layer list); --json for tooling
 //   list-algorithms show the registered kernel families (id, name, report
 //                   role, sampled-mode support)
+//   import-model    load a pruned checkpoint directory (model.json +
+//                   IMACTNSR tensor blobs) and print its measured
+//                   per-layer sparsity; `sweep --import DIR` registers it
 //   report          pretty-print a sweep CSV, pairing algorithms into
-//                   speedup columns by their registry pairing role
+//                   speedup columns by their registry pairing role; with
+//                   --rollup, fold count-weighted rows into whole-network
+//                   latency / energy-proxy totals
 //
 // Invoking with a .s file and no subcommand keeps the historical
 // single-purpose interface working: `imac_run [flags] file.s` == `imac_run
@@ -39,6 +44,7 @@
 #include "core/algorithm_registry.h"
 #include "core/batch.h"
 #include "core/result_store.h"
+#include "core/rollup.h"
 #include "core/sweep.h"
 #include "fsim/engine.h"
 #include "fsim/machine.h"
@@ -46,6 +52,7 @@
 #include "fsim/tracer.h"
 #include "serve/worker.h"
 #include "timing/timing_sim.h"
+#include "workloads/model_import.h"
 #include "workloads/workloads.h"
 
 namespace {
@@ -80,7 +87,7 @@ void usage(std::FILE* out) {
                "                     results, faster; --trace requires interp)\n"
                "  sweep --spec spec.json [--out file] [--format csv|json] [--threads N]\n"
                "        [--store DIR] [--resume] [--fsync] [--shard i/N]\n"
-               "        [--engine interp|threaded]\n"
+               "        [--engine interp|threaded] [--import DIR]... [--rollup]\n"
                "      Runs the sweep described by spec.json (see README: sweep specs)\n"
                "      on a parallel BatchRunner pool and writes the report to stdout\n"
                "      or --out.\n"
@@ -95,6 +102,12 @@ void usage(std::FILE* out) {
                "                    cache keys are engine-independent by construction)\n"
                "      --fsync       with --store: fsync the journal after every record\n"
                "                    (survives power loss, not just process death)\n"
+               "      --import DIR  register the checkpoint in DIR (see import-model)\n"
+               "                    before parsing the spec, so specs can sweep it\n"
+               "      --rollup      append whole-network totals to the report: a\n"
+               "                    \"# rollup\" CSV section / \"rollup\" JSON key with\n"
+               "                    count-weighted end-to-end cycles and a bytes-moved\n"
+               "                    energy proxy per (suite x sparsity x config)\n"
                "      SIGINT/SIGTERM stop gracefully: queued points are skipped,\n"
                "      in-flight points finish and journal, and the run exits 130 with\n"
                "      a resume hint (rerun with --resume).\n"
@@ -115,7 +128,7 @@ void usage(std::FILE* out) {
                "                     mid-record at result N / stall without heartbeats\n"
                "                     after result N\n"
                "  merge --spec spec.json [--store DIR]... [--out file] [--format csv|json]\n"
-               "        [shard.csv]...\n"
+               "        [--import DIR]... [shard.csv]...\n"
                "      Fuses shard stores and/or shard CSV reports into the canonical\n"
                "      report of spec.json — byte-identical to a single-process sweep.\n"
                "      Conflicting or missing points abort with an error. Stores keep\n"
@@ -128,16 +141,28 @@ void usage(std::FILE* out) {
                "  work. It mirrors the INDEXMAC_THREADS environment variable — same\n"
                "  [1, 1024] validation, rejecting anything else — and wins over it\n"
                "  when both are given.\n"
-               "  list-workloads [suite]\n"
+               "  list-workloads [suite] [--json]\n"
                "      Lists the registered workload suites, or one suite's layers.\n"
+               "      --json emits a machine-readable listing (name, display name,\n"
+               "      layer count, total MACs, default sparsities) for tooling.\n"
                "  list-algorithms\n"
                "      Lists the registered kernel families: id (as used in sweep specs\n"
                "      and CSV reports), display name, report pairing role, and whether\n"
                "      sampled sweep mode supports the family.\n"
-               "  report file.csv\n"
+               "  import-model DIR [--json]\n"
+               "      Loads the checkpoint in DIR (model.json manifest + IMACTNSR\n"
+               "      tensor blobs, f32/f16; see README: model import) and prints each\n"
+               "      layer's measured sparsity: nonzero density, N:M block\n"
+               "      conformity against the declared pattern, and ELLPACK\n"
+               "      row-imbalance. Sweep it with `sweep --import DIR` and a spec\n"
+               "      naming the model.\n"
+               "  report [--rollup] file.csv\n"
                "      Pretty-prints a sweep CSV; rows measured with both kernels are\n"
                "      paired into a speedup column (standalone families keep their\n"
-               "      own rows).\n"
+               "      own rows). --rollup prints whole-network totals instead: per\n"
+               "      (suite x sparsity x config), count-weighted end-to-end cycles,\n"
+               "      data accesses and the bytes-moved energy proxy (accesses x 64,\n"
+               "      a cache-line-granularity upper bound).\n"
                "  -h, --help     show this help and exit\n"
                "\n"
                "`imac_run [flags] file.s` (no subcommand) is accepted as `run`.\n");
@@ -287,7 +312,9 @@ int cmd_sweep(int argc, char** argv) {
   bool resume = false;
   bool fsync_each = false;
   bool json = false;
+  bool rollup = false;
   unsigned threads = 0;
+  std::vector<const char*> import_dirs;
 
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--spec") == 0 && i + 1 < argc) spec_path = argv[++i];
@@ -295,7 +322,9 @@ int cmd_sweep(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc) store_dir = argv[++i];
     else if (std::strcmp(argv[i], "--shard") == 0 && i + 1 < argc) shard_text = argv[++i];
     else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) engine_text = argv[++i];
+    else if (std::strcmp(argv[i], "--import") == 0 && i + 1 < argc) import_dirs.push_back(argv[++i]);
     else if (std::strcmp(argv[i], "--resume") == 0) resume = true;
+    else if (std::strcmp(argv[i], "--rollup") == 0) rollup = true;
     else if (std::strcmp(argv[i], "--fsync") == 0) fsync_each = true;
     else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       // Same strictness as INDEXMAC_THREADS (throws SimError on anything
@@ -328,6 +357,14 @@ int cmd_sweep(int argc, char** argv) {
   if (fsync_each && store_dir == nullptr) {
     std::fprintf(stderr, "imac_run sweep: --fsync requires --store DIR\n");
     return 2;
+  }
+
+  // Checkpoints register before the spec parses: parse_sweep_spec rejects
+  // unknown suite names, so a spec may only sweep an imported model when
+  // its --import precedes validation.
+  for (const char* dir : import_dirs) {
+    workloads::register_model(workloads::import_model(dir));
+    std::fprintf(stderr, "imported %s\n", dir);
   }
 
   core::SweepSpec spec = core::parse_sweep_spec_file(spec_path);
@@ -372,8 +409,14 @@ int cmd_sweep(int argc, char** argv) {
       std::fprintf(stderr, "store: %llu new simulations journaled (%llu already on disk)\n",
                    static_cast<unsigned long long>(store->appended()),
                    static_cast<unsigned long long>(store->loaded()));
-    const std::string rendered =
-        json ? core::report_to_json(report) : core::report_to_csv(report);
+    std::string rendered;
+    if (rollup) {
+      const core::RollupReport totals = core::compute_rollup(report);
+      rendered = json ? core::report_to_json_with_rollup(report, totals)
+                      : core::report_to_csv(report) + core::rollup_to_csv(totals);
+    } else {
+      rendered = json ? core::report_to_json(report) : core::report_to_csv(report);
+    }
     return write_report(rendered, out_path, report.rows.size(), "sweep");
   } catch (const core::BatchCancelled&) {
     // Graceful interrupt: in-flight points finished and (with --store)
@@ -484,6 +527,11 @@ int cmd_merge(int argc, char** argv) {
     if (std::strcmp(argv[i], "--spec") == 0 && i + 1 < argc) spec_path = argv[++i];
     else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
     else if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc) store_dirs.push_back(argv[++i]);
+    else if (std::strcmp(argv[i], "--import") == 0 && i + 1 < argc) {
+      // Same contract as sweep --import: the spec names the model, so the
+      // checkpoint must register before the spec parses below.
+      workloads::register_model(workloads::import_model(argv[++i]));
+    }
     else if (std::strcmp(argv[i], "--format") == 0 && i + 1 < argc) {
       const char* fmt = argv[++i];
       if (std::strcmp(fmt, "json") == 0) json = true;
@@ -534,14 +582,71 @@ int cmd_merge(int argc, char** argv) {
   return write_report(rendered, out_path, report.rows.size(), "merge");
 }
 
+/// Machine-readable suite facts: the fields tooling keys sweeps off
+/// (satellite of the model-IR refactor). One object per suite, or layer
+/// detail (kind, geometry, sparsity profile) when a suite is named.
+indexmac::JsonValue suite_json(const indexmac::workloads::ModelGraph& graph,
+                               bool with_layers) {
+  using namespace indexmac;
+  JsonValue o = JsonValue::make_object();
+  o.set("name", JsonValue(graph.name));
+  o.set("display_name", JsonValue(graph.display_name));
+  o.set("description", JsonValue(graph.description));
+  o.set("layers", JsonValue(static_cast<double>(graph.layer_count())));
+  o.set("workloads", JsonValue(static_cast<double>(graph.layers.size())));
+  o.set("total_macs", JsonValue(static_cast<double>(graph.total_macs())));
+  JsonValue sparsities = JsonValue::make_array();
+  for (const auto sp : graph.default_sparsities)
+    sparsities.push_back(JsonValue(workloads::sparsity_label(sp)));
+  o.set("sparsities", std::move(sparsities));
+  o.set("measured", JsonValue(graph.measured));
+  if (!with_layers) return o;
+  JsonValue layers = JsonValue::make_array();
+  for (const workloads::LayerRecord& layer : graph.layers) {
+    JsonValue l = JsonValue::make_object();
+    l.set("name", JsonValue(layer.name));
+    l.set("kind", JsonValue(std::string(workloads::layer_kind_id(layer.kind))));
+    l.set("rows", JsonValue(static_cast<double>(layer.gemm.rows_a)));
+    l.set("k", JsonValue(static_cast<double>(layer.gemm.k)));
+    l.set("cols", JsonValue(static_cast<double>(layer.gemm.cols_b)));
+    l.set("repeat", JsonValue(static_cast<double>(layer.repeat)));
+    l.set("macs", JsonValue(static_cast<double>(layer.macs())));
+    l.set("sparsity", JsonValue(workloads::sparsity_label(layer.sparsity.pattern)));
+    l.set("measured", JsonValue(layer.sparsity.measured));
+    l.set("density", JsonValue(layer.sparsity.density));
+    l.set("nm_conformity", JsonValue(layer.sparsity.nm_conformity));
+    l.set("row_imbalance", JsonValue(layer.sparsity.row_imbalance));
+    layers.push_back(std::move(l));
+  }
+  o.set("layer_records", std::move(layers));
+  return o;
+}
+
 int cmd_list_workloads(int argc, char** argv) {
   using namespace indexmac;
-  if (argc > 1) {
-    usage(stderr);
-    return 2;
+  bool json = false;
+  const char* suite_name = nullptr;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    else if (argv[i][0] != '-' && suite_name == nullptr) suite_name = argv[i];
+    else {
+      usage(stderr);
+      return 2;
+    }
   }
-  if (argc == 1) {
-    const workloads::Suite& s = workloads::suite(argv[0]);
+  if (json) {
+    if (suite_name != nullptr) {
+      std::printf("%s\n", suite_json(workloads::model_graph(suite_name), true).dump().c_str());
+      return 0;
+    }
+    JsonValue doc = JsonValue::make_array();
+    for (const std::string& name : workloads::suite_names())
+      doc.push_back(suite_json(workloads::model_graph(name), false));
+    std::printf("%s\n", doc.dump().c_str());
+    return 0;
+  }
+  if (suite_name != nullptr) {
+    const workloads::Suite& s = workloads::suite(suite_name);
     std::printf("%s: %s\n\n", s.name.c_str(), s.description.c_str());
     TextTable table;
     table.set_header({"workload", "GEMM (RxKxN)", "count", "MMACs"});
@@ -588,20 +693,140 @@ int cmd_list_algorithms(int argc, char** /*argv*/) {
   return 0;
 }
 
+int cmd_import_model(int argc, char** argv) {
+  using namespace indexmac;
+  bool json = false;
+  const char* dir = nullptr;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    else if (argv[i][0] != '-' && dir == nullptr) dir = argv[i];
+    else {
+      usage(stderr);
+      return 2;
+    }
+  }
+  if (dir == nullptr) {
+    std::fprintf(stderr, "imac_run import-model: checkpoint directory is required\n");
+    return 2;
+  }
+  const workloads::ModelGraph graph = workloads::import_model(dir);
+  if (json) {
+    std::printf("%s\n", suite_json(graph, true).dump().c_str());
+    return 0;
+  }
+  std::printf("%s (%s): %zu layers, %.2f GMACs\n\n", graph.name.c_str(),
+              graph.display_name.c_str(), graph.layer_count(),
+              static_cast<double>(graph.total_macs()) / 1e9);
+  TextTable table;
+  table.set_header({"layer", "kind", "GEMM (RxKxN)", "repeat", "pattern", "density",
+                    "conformity", "imbalance"});
+  for (const workloads::LayerRecord& layer : graph.layers)
+    table.add_row({layer.name, workloads::layer_kind_id(layer.kind),
+                   std::to_string(layer.gemm.rows_a) + "x" + std::to_string(layer.gemm.k) +
+                       "x" + std::to_string(layer.gemm.cols_b),
+                   std::to_string(layer.repeat),
+                   workloads::sparsity_label(layer.sparsity.pattern),
+                   fmt_fixed(layer.sparsity.density, 4),
+                   fmt_fixed(layer.sparsity.nm_conformity, 4),
+                   fmt_fixed(layer.sparsity.row_imbalance, 4)});
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nsweep it: imac_run sweep --import %s --spec spec.json with \"workloads\": "
+      "[\"%s\"]\n",
+      dir, graph.name.c_str());
+  return 0;
+}
+
+/// The --rollup report view: whole-network totals per (suite x sparsity x
+/// config), algorithms paired into speedup columns like the per-point view.
+int print_rollup_report(const indexmac::core::SweepReport& report) {
+  using namespace indexmac;
+  const core::RollupReport totals = core::compute_rollup(report);
+
+  struct Pair {
+    const core::RollupRow* baseline = nullptr;
+    const core::RollupRow* proposed = nullptr;
+    const core::RollupRow* proposed_v2 = nullptr;
+    const core::RollupRow* any = nullptr;
+  };
+  std::map<std::string, Pair> pairs;  // keyed by everything but the paired algorithm
+  std::vector<std::string> order;
+  for (const core::RollupRow& row : totals.rows) {
+    const core::AlgorithmDescriptor& desc =
+        core::AlgorithmRegistry::instance().by_algorithm(row.algorithm);
+    std::string key = row.suite + "|" + workloads::sparsity_label(row.sp) + "|u" +
+                      std::to_string(row.unroll) + "|df" +
+                      std::to_string(static_cast<int>(row.dataflow)) + "|L" +
+                      std::to_string(row.tile_rows) + "|" + core::sweep_mode_name(row.mode);
+    if (desc.pairing == core::PairingRole::kStandalone) key += "|" + desc.id;
+    auto [it, inserted] = pairs.try_emplace(key);
+    if (inserted) order.push_back(key);
+    it->second.any = &row;
+    switch (desc.pairing) {
+      case core::PairingRole::kBaseline: it->second.baseline = &row; break;
+      case core::PairingRole::kProposed: it->second.proposed = &row; break;
+      case core::PairingRole::kProposedV2: it->second.proposed_v2 = &row; break;
+      case core::PairingRole::kStandalone: break;
+    }
+  }
+
+  std::printf("sweep %s: network rollup (%zu groups)\n\n", report.spec_name.c_str(),
+              totals.rows.size());
+  TextTable table;
+  table.set_header({"suite", "sparsity", "unroll", "algorithm", "layers", "net cycles",
+                    "net accesses", "energy (bytes)", "speedup"});
+  for (const std::string& key : order) {
+    const Pair& pair = pairs.at(key);
+    const core::RollupRow& shown = pair.proposed != nullptr ? *pair.proposed : *pair.any;
+    std::string speedup = "-";
+    if (pair.baseline != nullptr && pair.proposed != nullptr)
+      speedup = fmt_speedup(pair.baseline->cycles / pair.proposed->cycles);
+    table.add_row({shown.suite, workloads::sparsity_label(shown.sp),
+                   std::to_string(shown.unroll),
+                   core::AlgorithmRegistry::instance().by_algorithm(shown.algorithm).id,
+                   std::to_string(shown.layers), fmt_fixed(shown.cycles, 0),
+                   fmt_count(shown.data_accesses), fmt_count(shown.energy_proxy_bytes()),
+                   speedup});
+    if (pair.proposed_v2 != nullptr) {
+      const core::RollupRow* v2_base =
+          pair.proposed != nullptr ? pair.proposed : pair.baseline;
+      const core::RollupRow& v2 = *pair.proposed_v2;
+      table.add_row({v2.suite, workloads::sparsity_label(v2.sp), std::to_string(v2.unroll),
+                     core::AlgorithmRegistry::instance().by_algorithm(v2.algorithm).id,
+                     std::to_string(v2.layers), fmt_fixed(v2.cycles, 0),
+                     fmt_count(v2.data_accesses), fmt_count(v2.energy_proxy_bytes()),
+                     v2_base != nullptr ? fmt_speedup(v2_base->cycles / v2.cycles) : "-"});
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
 int cmd_report(int argc, char** argv) {
   using namespace indexmac;
-  if (argc != 1) {
+  bool rollup = false;
+  const char* path = nullptr;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rollup") == 0) rollup = true;
+    else if (argv[i][0] != '-' && path == nullptr) path = argv[i];
+    else {
+      usage(stderr);
+      return 2;
+    }
+  }
+  if (path == nullptr) {
     usage(stderr);
     return 2;
   }
-  std::ifstream file(argv[0], std::ios::binary);
+  std::ifstream file(path, std::ios::binary);
   if (!file) {
-    std::fprintf(stderr, "imac_run report: cannot open %s\n", argv[0]);
+    std::fprintf(stderr, "imac_run report: cannot open %s\n", path);
     return 1;
   }
   std::stringstream buf;
   buf << file.rdbuf();
   const core::SweepReport report = core::parse_csv_report(buf.str());
+  if (rollup) return print_rollup_report(report);
 
   // Pair baseline/proposed/proposed-v2 measurements of the same point into
   // one line, by each family's registry pairing role. Standalone families
@@ -695,7 +920,7 @@ bool is_subcommand(const char* s) {
   return std::strcmp(s, "run") == 0 || std::strcmp(s, "sweep") == 0 ||
          std::strcmp(s, "worker") == 0 || std::strcmp(s, "merge") == 0 ||
          std::strcmp(s, "list-workloads") == 0 || std::strcmp(s, "list-algorithms") == 0 ||
-         std::strcmp(s, "report") == 0;
+         std::strcmp(s, "import-model") == 0 || std::strcmp(s, "report") == 0;
 }
 
 }  // namespace
@@ -722,6 +947,7 @@ int main(int argc, char** argv) {
       if (std::strcmp(cmd, "merge") == 0) return cmd_merge(nrest, rest);
       if (std::strcmp(cmd, "list-workloads") == 0) return cmd_list_workloads(nrest, rest);
       if (std::strcmp(cmd, "list-algorithms") == 0) return cmd_list_algorithms(nrest, rest);
+      if (std::strcmp(cmd, "import-model") == 0) return cmd_import_model(nrest, rest);
       return cmd_report(nrest, rest);
     }
     // Historical interface: flags + a .s file, no subcommand.

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Generates a tiny synthetic N:M-pruned checkpoint for the model importer.
+
+Stdlib-only (json + struct): writes a model.json manifest plus one IMACTNSR
+tensor blob per layer (see src/workloads/model_import.h for the format).
+Weights are exactly N:M pruned — every M-aligned column block keeps at most
+N nonzeros (partial tail blocks keep min(N, width)) — with deterministic
+nonzero values bounded away from zero, so the importer's measured density
+and conformity have closed-form ground truth. Prints that ground truth as
+JSON on stdout for the calling check to compare against `imac_run
+import-model --json`.
+
+Usage: make_synthetic_checkpoint.py OUT_DIR
+"""
+
+import json
+import struct
+import sys
+
+MAGIC = b"IMACTNSR"
+VERSION = 1
+DTYPE_F32 = 0
+DTYPE_F16 = 1
+
+# (name, kind, geometry, repeat, sparsity "N:M", dtype). Shapes are
+# CI-sized: exact-mode sweepable in seconds, tail blocks (k % M != 0) and
+# both dtypes covered.
+LAYERS = [
+    {
+        "name": "conv1",
+        "kind": "conv",
+        "out_channels": 8,
+        "in_channels": 4,
+        "kernel_h": 3,
+        "kernel_w": 3,
+        "stride": 1,
+        "pad_h": 1,
+        "pad_w": 1,
+        "in_h": 6,
+        "in_w": 6,
+        "sparsity": "2:4",
+        "dtype": DTYPE_F32,
+        "weights_shape": (8, 4 * 3 * 3),
+    },
+    {
+        "name": "dw1",
+        "kind": "depthwise",
+        "channels": 8,
+        "kernel_h": 3,
+        "kernel_w": 3,
+        "stride": 1,
+        "pad_h": 1,
+        "pad_w": 1,
+        "in_h": 6,
+        "in_w": 6,
+        "sparsity": "2:4",
+        "dtype": DTYPE_F16,  # 9 cols: a partial tail block, f16 decode path
+        "weights_shape": (8, 3 * 3),
+    },
+    {
+        "name": "fc1",
+        "kind": "linear",
+        "out_features": 16,
+        "in_features": 64,
+        "tokens": 24,
+        "repeat": 2,
+        "sparsity": "2:4",
+        "dtype": DTYPE_F32,
+        "weights_shape": (16, 64),
+    },
+    {
+        "name": "attn1",
+        "kind": "attention-proj",
+        "out_features": 16,
+        "in_features": 32,
+        "tokens": 8,
+        "sparsity": "1:4",
+        "dtype": DTYPE_F32,
+        "weights_shape": (16, 32),
+    },
+]
+
+
+def pruned_weights(rows, cols, n, m, seed):
+    """Exact N:M weights with a deterministic stdlib PRNG-free pattern.
+
+    Block b of row r keeps nonzeros at columns (r + b) % width, (r + b + 1)
+    % width, ... — n of them (or the block width if smaller) — with values
+    in [0.25, 1.0], representable exactly in f16 (k/64 grid) so the f16
+    round trip cannot create or destroy zeros.
+    """
+    mat = [[0.0] * cols for _ in range(rows)]
+    nnz = 0
+    for r in range(rows):
+        for b in range((cols + m - 1) // m):
+            c0 = b * m
+            width = min(m, cols - c0)
+            keep = min(n, width)
+            for j in range(keep):
+                c = c0 + (r + b + j * 2 + seed) % width
+                if mat[r][c] == 0.0:
+                    mat[r][c] = 0.25 + ((r * 31 + c * 7 + seed) % 48) / 64.0
+            nnz += sum(1 for c in range(c0, c0 + width) if mat[r][c] != 0.0)
+    return mat, nnz
+
+
+def write_tensor(path, mat, dtype):
+    rows, cols = len(mat), len(mat[0])
+    flat = [v for row in mat for v in row]
+    with open(path, "wb") as f:
+        f.write(MAGIC)
+        f.write(struct.pack("<IIQQ", VERSION, dtype, rows, cols))
+        fmt = "<%d%s" % (len(flat), "f" if dtype == DTYPE_F32 else "e")
+        f.write(struct.pack(fmt, *flat))
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit("usage: make_synthetic_checkpoint.py OUT_DIR")
+    out_dir = sys.argv[1]
+    import os
+
+    os.makedirs(out_dir, exist_ok=True)
+
+    manifest = {
+        "format": "imac-model/v1",
+        "name": "synth24",
+        "display_name": "Synth-2:4",
+        "description": "synthetic 2:4-pruned checkpoint (CI model-import job)",
+        "sparsities": ["2:4"],
+        "layers": [],
+    }
+    truth = {"name": "synth24", "layers": []}
+    for seed, spec in enumerate(LAYERS):
+        rows, cols = spec["weights_shape"]
+        n, m = (int(x) for x in spec["sparsity"].split(":"))
+        mat, nnz = pruned_weights(rows, cols, n, m, seed)
+        tensor = spec["name"] + ".tensor"
+        write_tensor(os.path.join(out_dir, tensor), mat, spec["dtype"])
+        entry = {
+            k: v for k, v in spec.items() if k not in ("dtype", "weights_shape")
+        }
+        entry["weights"] = tensor
+        manifest["layers"].append(entry)
+        truth["layers"].append(
+            {
+                "name": spec["name"],
+                "density": nnz / (rows * cols),
+                # Construction keeps every aligned block at <= N nonzeros.
+                "nm_conformity": 1.0,
+            }
+        )
+
+    with open(os.path.join(out_dir, "model.json"), "w") as f:
+        json.dump(manifest, f, indent=2)
+        f.write("\n")
+    json.dump(truth, sys.stdout, indent=2)
+    print()
+
+
+if __name__ == "__main__":
+    main()
