@@ -3,6 +3,9 @@
 // survives process death, so repeated, resumed, and sharded sweeps are
 // served from disk instead of re-simulated.
 //
+// The normative spec of the journal format also lives in
+// docs/formats.md ("Result-store journal"); keep the two in sync.
+//
 // On-disk format (DIR/results.journal, little-endian):
 //
 //   header   8-byte magic "IMACRES\n" | u32 format version (currently 1)

@@ -1,0 +1,174 @@
+#include "debug/gdb_stub.h"
+
+#include "common/error.h"
+
+namespace indexmac::debug {
+
+namespace {
+
+constexpr char kEscape = '\x7d';
+
+[[nodiscard]] bool needs_escape(char c) {
+  return c == '$' || c == '#' || c == '}' || c == '*';
+}
+
+[[nodiscard]] int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+}  // namespace
+
+std::uint8_t rsp_checksum(std::string_view data) {
+  unsigned sum = 0;
+  for (const char c : data) sum += static_cast<unsigned char>(c);
+  return static_cast<std::uint8_t>(sum & 0xff);
+}
+
+std::string rsp_escape(std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size());
+  for (const char c : payload) {
+    if (needs_escape(c)) {
+      out.push_back(kEscape);
+      out.push_back(static_cast<char>(c ^ 0x20));
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string rsp_unescape(std::string_view data) {
+  std::string out;
+  out.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data[i] == kEscape) {
+      if (i + 1 >= data.size()) raise("RSP packet ends with a lone escape byte");
+      out.push_back(static_cast<char>(data[++i] ^ 0x20));
+    } else {
+      out.push_back(data[i]);
+    }
+  }
+  return out;
+}
+
+std::string rsp_frame(std::string_view payload) {
+  const std::string escaped = rsp_escape(payload);
+  const std::uint8_t sum = rsp_checksum(escaped);
+  std::string out;
+  out.reserve(escaped.size() + 4);
+  out.push_back('$');
+  out.append(escaped);
+  out.push_back('#');
+  out.push_back(kHexDigits[sum >> 4]);
+  out.push_back(kHexDigits[sum & 0xf]);
+  return out;
+}
+
+std::string bytes_to_hex(std::string_view bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const char c : bytes) {
+    const auto b = static_cast<unsigned char>(c);
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xf]);
+  }
+  return out;
+}
+
+std::string hex_to_bytes(std::string_view hex) {
+  if (hex.size() % 2 != 0)
+    raise("RSP hex string has odd length " + std::to_string(hex.size()));
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_digit(hex[i]);
+    const int lo = hex_digit(hex[i + 1]);
+    if (hi < 0 || lo < 0)
+      raise("RSP hex string contains a non-hex digit: \"" + std::string(hex) + "\"");
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::string u64_to_hex_le(std::uint64_t value, unsigned bytes) {
+  std::string out;
+  out.reserve(bytes * 2);
+  for (unsigned i = 0; i < bytes; ++i) {
+    const auto b = static_cast<unsigned char>((value >> (8 * i)) & 0xff);
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xf]);
+  }
+  return out;
+}
+
+std::uint64_t hex_le_to_u64(std::string_view hex) {
+  if (hex.empty() || hex.size() % 2 != 0 || hex.size() > 16)
+    raise("RSP little-endian hex value has bad length " + std::to_string(hex.size()));
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_digit(hex[i]);
+    const int lo = hex_digit(hex[i + 1]);
+    if (hi < 0 || lo < 0)
+      raise("RSP hex value contains a non-hex digit: \"" + std::string(hex) + "\"");
+    value |= static_cast<std::uint64_t>((hi << 4) | lo) << (8 * (i / 2));
+  }
+  return value;
+}
+
+std::uint64_t parse_hex_u64(std::string_view hex) {
+  if (hex.empty() || hex.size() > 16)
+    raise("RSP hex number has bad length " + std::to_string(hex.size()));
+  std::uint64_t value = 0;
+  for (const char c : hex) {
+    const int d = hex_digit(c);
+    if (d < 0) raise("RSP hex number contains a non-hex digit: \"" + std::string(hex) + "\"");
+    value = (value << 4) | static_cast<unsigned>(d);
+  }
+  return value;
+}
+
+std::optional<PacketBuffer::Event> PacketBuffer::next() {
+  std::size_t i = 0;
+  // Skip inter-packet bytes, emitting the single-byte events they encode.
+  while (i < buffer_.size() && buffer_[i] != '$') {
+    const char c = buffer_[i];
+    if (c == '+' || c == '-' || c == '\x03') {
+      buffer_.erase(0, i + 1);
+      return Event{c == '+'   ? Kind::kAck
+                   : c == '-' ? Kind::kNak
+                              : Kind::kInterrupt,
+                   {}};
+    }
+    ++i;  // line noise per protocol; skipped
+  }
+  if (i > 0) buffer_.erase(0, i);
+  if (buffer_.empty()) return std::nullopt;
+
+  // buffer_[0] == '$': find the frame terminator.
+  const std::size_t hash = buffer_.find('#', 1);
+  const std::size_t body_len = (hash == std::string::npos ? buffer_.size() : hash) - 1;
+  if (body_len > kMaxPacketBytes)
+    raise("oversized RSP packet: " + std::to_string(body_len) + " bytes (limit " +
+          std::to_string(kMaxPacketBytes) + ")");
+  if (hash == std::string::npos || hash + 2 >= buffer_.size())
+    return std::nullopt;  // frame still in flight across recv boundaries
+
+  const std::string body = buffer_.substr(1, hash - 1);
+  const std::string sum_text = buffer_.substr(hash + 1, 2);
+  buffer_.erase(0, hash + 3);
+
+  const int hi = hex_digit(sum_text[0]);
+  const int lo = hex_digit(sum_text[1]);
+  const bool sum_ok =
+      hi >= 0 && lo >= 0 && ((hi << 4) | lo) == rsp_checksum(body);
+  if (!sum_ok) return Event{Kind::kBadChecksum, body};
+  return Event{Kind::kPacket, rsp_unescape(body)};
+}
+
+}  // namespace indexmac::debug

@@ -1,0 +1,103 @@
+// GDB remote-serial-protocol (RSP) packet layer: framing, checksums,
+// escaping, and an incremental decoder — the transport-independent half of
+// the debug stub (the session/command layer lives in debug/gdb_server.h).
+//
+// Wire format (GDB "Remote Protocol", appendix E of the manual):
+//
+//   packet     "$" payload-bytes "#" checksum
+//   checksum   two lowercase hex digits: sum of payload bytes mod 256
+//   escaping   0x7d ('}') introduces an escape; the next byte is the
+//              original xor 0x20. '$', '#', '}' (and '*', reserved for
+//              run-length encoding) must travel escaped. The checksum is
+//              computed over the ESCAPED payload, exactly as transmitted.
+//   acks       receiver answers '+' (good checksum) or '-' (retransmit
+//              request) per packet until QStartNoAckMode is negotiated.
+//   interrupt  a raw 0x03 byte between packets (GDB's Ctrl-C).
+//
+// Bytes between packets that are not '+'/'-'/0x03 are line noise by
+// protocol definition and are skipped silently.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace indexmac::debug {
+
+/// Upper bound on one packet's escaped payload. A debugger has no business
+/// sending more (our advertised PacketSize is far smaller); a longer body
+/// means a corrupt or hostile peer, and feeding it further would buffer
+/// unbounded garbage — PacketBuffer raises SimError instead.
+inline constexpr std::size_t kMaxPacketBytes = 1u << 20;
+
+/// Mod-256 sum of `data` (the RSP packet checksum, over escaped bytes).
+[[nodiscard]] std::uint8_t rsp_checksum(std::string_view data);
+
+/// Escapes '$', '#', '}', '*' as "0x7d, byte^0x20".
+[[nodiscard]] std::string rsp_escape(std::string_view payload);
+
+/// Inverse of rsp_escape. Throws SimError on a trailing lone 0x7d (an
+/// escape with no byte to apply it to — only a corrupt peer produces one).
+[[nodiscard]] std::string rsp_unescape(std::string_view data);
+
+/// Renders one complete packet: "$" + escape(payload) + "#" + checksum.
+[[nodiscard]] std::string rsp_frame(std::string_view payload);
+
+// --- hex helpers (RSP uses lowercase hex throughout) ----------------------
+
+/// Bytes -> lowercase hex, two digits per byte.
+[[nodiscard]] std::string bytes_to_hex(std::string_view bytes);
+
+/// Hex -> bytes. Throws SimError on odd length or a non-hex digit.
+[[nodiscard]] std::string hex_to_bytes(std::string_view hex);
+
+/// Value -> `bytes`-wide little-endian hex (GDB register/memory order for a
+/// little-endian target: least-significant byte first).
+[[nodiscard]] std::string u64_to_hex_le(std::uint64_t value, unsigned bytes);
+
+/// Little-endian hex (1..8 bytes, even digit count) -> value. Throws
+/// SimError on bad digits or length.
+[[nodiscard]] std::uint64_t hex_le_to_u64(std::string_view hex);
+
+/// Big-endian hex number (the "addr"/"length" fields of m/M/Z packets, up
+/// to 16 digits, no 0x prefix) -> value. Throws SimError on empty or
+/// malformed input.
+[[nodiscard]] std::uint64_t parse_hex_u64(std::string_view hex);
+
+// --- incremental decoder --------------------------------------------------
+
+/// Feed() raw received bytes; next() yields protocol events in order. A
+/// packet split across arbitrarily many recv boundaries assembles exactly
+/// once; a '$..#xx' frame whose checksum fails surfaces as kBadChecksum so
+/// the session can answer '-' (retransmit request).
+class PacketBuffer {
+ public:
+  enum class Kind : std::uint8_t {
+    kPacket,       ///< well-formed packet; payload is UNESCAPED
+    kBadChecksum,  ///< framed packet whose checksum failed; payload raw
+    kAck,          ///< '+'
+    kNak,          ///< '-' (peer requests retransmission)
+    kInterrupt,    ///< raw 0x03 (GDB Ctrl-C)
+  };
+  struct Event {
+    Kind kind;
+    std::string payload;  ///< kPacket/kBadChecksum only
+  };
+
+  void feed(const char* data, std::size_t n) { buffer_.append(data, n); }
+  void feed(std::string_view data) { buffer_.append(data); }
+
+  /// Next complete event, or nullopt when more bytes are needed. Throws
+  /// SimError when an in-flight packet body exceeds kMaxPacketBytes.
+  [[nodiscard]] std::optional<Event> next();
+
+  /// Bytes of an incomplete trailing frame (diagnostics).
+  [[nodiscard]] std::size_t pending_bytes() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+}  // namespace indexmac::debug

@@ -89,6 +89,16 @@ StopReason Machine::run(std::uint64_t max_steps) {
   return StopReason::kMaxSteps;
 }
 
+StopReason Machine::run_with_breakpoints(const BreakpointSet& breakpoints,
+                                         std::uint64_t max_steps) {
+  for (std::uint64_t i = 0; i < max_steps; ++i) {
+    if (breakpoints.contains(state_.pc)) return StopReason::kRunning;
+    const StopReason r = step();
+    if (r != StopReason::kRunning) return r;
+  }
+  return StopReason::kMaxSteps;
+}
+
 std::uint32_t Machine::ssr_pop(unsigned sid) {
   SsrStream& s = ssr_[sid];
   if (!s.enabled || s.count == 0)

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "asm/program.h"
+#include "fsim/breakpoints.h"
 #include "isa/isa.h"
 #include "mem/main_memory.h"
 
@@ -62,6 +63,16 @@ class Machine {
 
   /// Runs until ebreak/ecall or `max_steps`. Returns the stop reason.
   StopReason run(std::uint64_t max_steps = 100'000'000);
+
+  /// Like run(), but additionally stops BEFORE executing any instruction
+  /// whose pc is in `breakpoints`, returning kRunning with the pc parked on
+  /// the breakpoint (a pc already in the set returns immediately — resuming
+  /// past a breakpoint is the caller's step-over, exactly as GDB drives a
+  /// stub). kMaxSteps still means the budget ran out. Used by the debug
+  /// stub (debug/gdb_server.h); breakpoints never patch the program image,
+  /// so architectural results are unchanged.
+  StopReason run_with_breakpoints(const BreakpointSet& breakpoints,
+                                  std::uint64_t max_steps = 100'000'000);
 
   [[nodiscard]] const ArchState& state() const { return state_; }
   [[nodiscard]] ArchState& state() { return state_; }

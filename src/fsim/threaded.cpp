@@ -635,6 +635,7 @@ struct ThreadedEngine::Impl {
   void build_fast(Block& b, std::size_t entry);
   Block* lookup_block(std::uint64_t pc);
   StopReason run(std::uint64_t max_steps);
+  StopReason run_with_breakpoints(const BreakpointSet& bps, std::uint64_t max_steps);
   StopReason step();
 };
 
@@ -990,6 +991,42 @@ StopReason ThreadedEngine::Impl::run(std::uint64_t max_steps) {
   return StopReason::kMaxSteps;
 }
 
+StopReason ThreadedEngine::Impl::run_with_breakpoints(const BreakpointSet& bps,
+                                                      std::uint64_t max_steps) {
+  if (bps.empty()) return run(max_steps);
+  std::uint64_t budget = max_steps;
+  while (budget > 0) {
+    if (bps.contains(m.state_.pc)) return StopReason::kRunning;
+    Block* b = lookup_block(m.state_.pc);
+    if (b == nullptr || b->n_ops > budget || bps.intersects(b->entry_pc, b->fall_pc)) {
+      // Interpreter-step: a fallback-class op, a block too big for the
+      // remaining budget, or a block containing a breakpoint (a fused chain
+      // must not sail past a pc the debugger is watching). Steps stay
+      // inside the block's range so a breakpoint-free successor block goes
+      // back to the fast path.
+      const std::uint64_t lo = b != nullptr ? b->entry_pc : 0;
+      const std::uint64_t hi = b != nullptr ? b->fall_pc : 0;
+      do {
+        ++stats.fallback_steps;
+        const StopReason r = m.step();
+        --budget;
+        if (r != StopReason::kRunning) return r;
+        if (bps.contains(m.state_.pc)) return StopReason::kRunning;
+      } while (b != nullptr && budget > 0 && m.state_.pc >= lo && m.state_.pc < hi);
+      continue;
+    }
+    Ctx ctx = make_ctx(b->fall_pc);
+    for (const TOp& op : b->fast) op.fn(ctx, op);
+    m.state_.pc = ctx.next_pc;
+    m.state_.x[0] = 0;
+    m.retired_ += b->n_ops;
+    budget -= b->n_ops;
+    ++stats.block_runs;
+    if (ctx.stop != StopReason::kRunning) return ctx.stop;
+  }
+  return StopReason::kMaxSteps;
+}
+
 StopReason ThreadedEngine::Impl::step() {
   const std::uint64_t pc = m.state_.pc;
   if (pc < base || pc - base >= code_bytes || ((pc - base) & 3) != 0) {
@@ -1015,6 +1052,10 @@ ThreadedEngine::ThreadedEngine(Machine& machine) : impl_(std::make_unique<Impl>(
 ThreadedEngine::~ThreadedEngine() = default;
 
 StopReason ThreadedEngine::run(std::uint64_t max_steps) { return impl_->run(max_steps); }
+StopReason ThreadedEngine::run_with_breakpoints(const BreakpointSet& breakpoints,
+                                                std::uint64_t max_steps) {
+  return impl_->run_with_breakpoints(breakpoints, max_steps);
+}
 StopReason ThreadedEngine::step() { return impl_->step(); }
 const ThreadedEngine::Stats& ThreadedEngine::stats() const { return impl_->stats; }
 Machine& ThreadedEngine::machine() { return impl_->m; }

@@ -49,6 +49,16 @@ class ThreadedEngine {
   /// the interpreter so the stopping point is instruction-exact.
   StopReason run(std::uint64_t max_steps = 100'000'000);
 
+  /// Machine::run_with_breakpoints semantics on this engine: stops BEFORE
+  /// executing any pc in `breakpoints` (kRunning, pc parked on the
+  /// breakpoint; a pc already in the set returns immediately). Blocks whose
+  /// pc range contains a breakpoint execute instruction-by-instruction
+  /// through the interpreter — superblock fusion never skips a breakpoint —
+  /// while breakpoint-free blocks keep the predecoded fast path, so a
+  /// debugged program still runs at near-threaded speed between stops.
+  StopReason run_with_breakpoints(const BreakpointSet& breakpoints,
+                                  std::uint64_t max_steps = 100'000'000);
+
   /// Executes exactly one instruction through the pre-bound handler for
   /// its pc slot (superblocks are not used here), with Machine::step's
   /// exact observable semantics. This is what trace-driven timing runs use

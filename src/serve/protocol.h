@@ -1,6 +1,9 @@
 // Wire protocol of the sweep orchestrator: length-prefixed JSON frames
 // over TCP (reusing common/json for the payloads).
 //
+// The normative spec of the framing and conversation also lives in
+// docs/formats.md ("Serve protocol v1"); keep the two in sync.
+//
 // Framing: u32 little-endian payload length | payload (UTF-8 JSON object).
 // Frames above kMaxFrameBytes are a protocol violation (a corrupt length
 // prefix would otherwise ask the peer to buffer gigabytes).

@@ -1,6 +1,9 @@
 // Checkpoint importer: builds a measured ModelGraph from a pruned weight
 // checkpoint on disk, stdlib-only (no numpy/protobuf dependency).
 //
+// The normative spec of the manifest and tensor-blob formats also lives
+// in docs/formats.md ("Model checkpoint"); keep the two in sync.
+//
 // Checkpoint layout — an npz-style directory:
 //
 //   model.json        manifest: model metadata + one entry per layer

@@ -9,6 +9,9 @@
 //                   restartable, and horizontally partitionable
 //   merge           fuse shard stores and/or shard CSV reports back into
 //                   the canonical single-process report
+//   gdb             serve a GDB remote-serial-protocol debug session over
+//                   an assembled program (debug/gdb_server.h): breakpoints,
+//                   single-step, register/memory inspection, both engines
 //   list-workloads  show the registered workload suites (or one suite's
 //                   layer list); --json for tooling
 //   list-algorithms show the registered kernel families (id, name, report
@@ -46,6 +49,7 @@
 #include "core/result_store.h"
 #include "core/rollup.h"
 #include "core/sweep.h"
+#include "debug/gdb_server.h"
 #include "fsim/engine.h"
 #include "fsim/machine.h"
 #include "fsim/threaded.h"
@@ -68,104 +72,169 @@ void install_stop_handlers() {
   std::signal(SIGTERM, handle_stop_signal);
 }
 
-// Requested help goes to stdout (exit 0); usage errors go to stderr.
+/// Per-subcommand documentation. The summary list, the full help, and
+/// `imac_run <sub> --help` all render from this one table, and
+/// tools/gen_cli_docs.py regenerates docs/cli.md from the same output —
+/// a flag documented here is documented everywhere.
+struct SubcommandDoc {
+  const char* name;
+  const char* brief;  ///< one line for the summary list
+  const char* help;   ///< full section (usage line + flag descriptions)
+};
+
+const SubcommandDoc kSubcommands[] = {
+    {"run", "assemble and execute a text-assembly program",
+     "  run [--timing] [--trace] [--max-steps N] [--dump-regs] [--threads N]\n"
+     "      [--engine interp|threaded] file.s\n"
+     "      Assembles file.s (the library's RISC-V subset, including\n"
+     "      vindexmac.vx) and executes it; programs halt with ebreak.\n"
+     "      --timing       run on the cycle-level timing model\n"
+     "      --trace        print each executed instruction (functional mode)\n"
+     "      --max-steps N  stop after N instructions (default 100000000)\n"
+     "      --dump-regs    print architectural registers on exit\n"
+     "      --engine E     functional engine: \"interp\" (default) or\n"
+     "                     \"threaded\" (predecoded threaded code; identical\n"
+     "                     results, faster; --trace requires interp)\n"},
+    {"sweep", "run a declarative sweep spec and emit a CSV/JSON report",
+     "  sweep --spec spec.json [--out file] [--format csv|json] [--threads N]\n"
+     "        [--store DIR] [--resume] [--fsync] [--shard i/N]\n"
+     "        [--engine interp|threaded] [--import DIR]... [--rollup]\n"
+     "      Runs the sweep described by spec.json (see README: sweep specs)\n"
+     "      on a parallel BatchRunner pool and writes the report to stdout\n"
+     "      or --out.\n"
+     "      --store DIR   journal every completed point to DIR/results.journal\n"
+     "                    (append-only, CRC-checked; survives a killed run)\n"
+     "      --resume      with --store: serve already-journaled points from\n"
+     "                    the store and simulate only what is missing\n"
+     "      --shard i/N   run only shard i of N: points are partitioned by\n"
+     "                    digest (fnv1a(key) %% N == i-1), so N processes with\n"
+     "                    disjoint shards cover the grid exactly once\n"
+     "      --engine E    override the spec's functional engine (reports and\n"
+     "                    cache keys are engine-independent by construction)\n"
+     "      --fsync       with --store: fsync the journal after every record\n"
+     "                    (survives power loss, not just process death)\n"
+     "      --import DIR  register the checkpoint in DIR (see import-model)\n"
+     "                    before parsing the spec, so specs can sweep it\n"
+     "      --rollup      append whole-network totals to the report: a\n"
+     "                    \"# rollup\" CSV section / \"rollup\" JSON key with\n"
+     "                    count-weighted end-to-end cycles and a bytes-moved\n"
+     "                    energy proxy per (suite x sparsity x config)\n"
+     "      SIGINT/SIGTERM stop gracefully: queued points are skipped,\n"
+     "      in-flight points finish and journal, and the run exits 130 with\n"
+     "      a resume hint (rerun with --resume).\n"},
+    {"worker", "join an imac_serve daemon as a fault-tolerant sweep worker",
+     "  worker (--port N | --port-file F) [--host A] [--name W]\n"
+     "         [--heartbeat-ms N] [--poll-ms N] [--backoff-base-ms N]\n"
+     "         [--backoff-cap-ms N] [--give-up-ms N] [--quiet]\n"
+     "         [--chaos-kill-after N] [--chaos-drop-after N]\n"
+     "         [--chaos-stall-after N --chaos-stall-ms N]\n"
+     "      Joins an imac_serve daemon as a sweep worker: leases grid\n"
+     "      points, measures them, streams results back, and reconnects\n"
+     "      with capped exponential backoff when the daemon goes away.\n"
+     "      Exits 0 when the daemon reports the grid complete, 3 after\n"
+     "      --give-up-ms without a reachable daemon, 130 on SIGINT.\n"
+     "      --port-file F  read the port from F (as written by imac_serve\n"
+     "                     --port-file), waiting for it to appear\n"
+     "      --give-up-ms N give up after N ms without a reachable daemon\n"
+     "                     (default 60000); also bounds the --port-file wait\n"
+     "      --chaos-*      scripted fault injection for tests: SIGKILL self\n"
+     "                     before sending result N / drop the connection\n"
+     "                     mid-record at result N / stall without heartbeats\n"
+     "                     after result N\n"},
+    {"merge", "fuse shard stores/reports into the canonical report",
+     "  merge --spec spec.json [--store DIR]... [--out file] [--format csv|json]\n"
+     "        [--import DIR]... [shard.csv]...\n"
+     "      Fuses shard stores and/or shard CSV reports into the canonical\n"
+     "      report of spec.json — byte-identical to a single-process sweep.\n"
+     "      Conflicting or missing points abort with an error. Stores keep\n"
+     "      full double precision; shard CSVs round sampled-mode cycles to\n"
+     "      2 decimals, so for sampled sweeps merge from stores (CSV inputs\n"
+     "      still give byte-exact CSV output, but not JSON, and must not\n"
+     "      overlap a store's points).\n"},
+    {"gdb", "serve a GDB remote-debug session over a program",
+     "  gdb [--port N] [--port-file F] [--engine interp|threaded] [--quiet]\n"
+     "      file.s\n"
+     "      Assembles file.s and serves ONE GDB remote-serial-protocol\n"
+     "      debug session on 127.0.0.1 (registers x0..x31/pc/f/v/vl, memory,\n"
+     "      software breakpoints, continue/step, Ctrl-C interrupt). Connect\n"
+     "      a RISC-V-aware gdb with `target remote :PORT`, or script it with\n"
+     "      tools/rsp_client.py. Breakpoints are pc-checks, never program\n"
+     "      patches: architectural results match an undebugged run exactly,\n"
+     "      and with --engine threaded only breakpointed blocks drop to\n"
+     "      interpreter stepping.\n"
+     "      --port N       listen port (default 0 = kernel-assigned; the\n"
+     "                     bound port is printed to stderr)\n"
+     "      --port-file F  also write the bound port to F (harness handshake,\n"
+     "                     same contract as imac_serve --port-file)\n"
+     "      --engine E     execution engine: \"interp\" (default) or \"threaded\"\n"
+     "      --quiet        suppress the listening/connected stderr notes\n"
+     "      monitor commands (gdb `monitor ...`): markers (pc of each marker\n"
+     "      instruction), symbols (label addresses), retired (instruction\n"
+     "      count), engine, fault (text of the last execution fault).\n"
+     "      Exits 0 when the debugger detaches, kills, or disconnects;\n"
+     "      130 on SIGINT/SIGTERM.\n"},
+    {"list-workloads", "show registered workload suites (or one suite's layers)",
+     "  list-workloads [suite] [--json]\n"
+     "      Lists the registered workload suites, or one suite's layers.\n"
+     "      --json emits a machine-readable listing (name, display name,\n"
+     "      layer count, total MACs, default sparsities) for tooling.\n"},
+    {"list-algorithms", "show registered kernel families",
+     "  list-algorithms\n"
+     "      Lists the registered kernel families: id (as used in sweep specs\n"
+     "      and CSV reports), display name, report pairing role, and whether\n"
+     "      sampled sweep mode supports the family.\n"},
+    {"import-model", "load a pruned checkpoint and print measured sparsity",
+     "  import-model DIR [--json]\n"
+     "      Loads the checkpoint in DIR (model.json manifest + IMACTNSR\n"
+     "      tensor blobs, f32/f16; see README: model import) and prints each\n"
+     "      layer's measured sparsity: nonzero density, N:M block\n"
+     "      conformity against the declared pattern, and ELLPACK\n"
+     "      row-imbalance. Sweep it with `sweep --import DIR` and a spec\n"
+     "      naming the model.\n"},
+    {"report", "pretty-print a sweep CSV with paired speedup columns",
+     "  report [--rollup] file.csv\n"
+     "      Pretty-prints a sweep CSV; rows measured with both kernels are\n"
+     "      paired into a speedup column (standalone families keep their\n"
+     "      own rows). --rollup prints whole-network totals instead: per\n"
+     "      (suite x sparsity x config), count-weighted end-to-end cycles,\n"
+     "      data accesses and the bytes-moved energy proxy (accesses x 64,\n"
+     "      a cache-line-granularity upper bound).\n"},
+};
+
+// Requested help goes to stdout (exit 0); usage errors go to stderr (the
+// summary only — `imac_run <sub> --help` has the details).
 void usage(std::FILE* out) {
   std::fprintf(out,
                "usage: imac_run <subcommand> [args]\n"
                "\n"
-               "subcommands:\n"
-               "  run [--timing] [--trace] [--max-steps N] [--dump-regs] [--threads N]\n"
-               "      [--engine interp|threaded] file.s\n"
-               "      Assembles file.s (the library's RISC-V subset, including\n"
-               "      vindexmac.vx) and executes it; programs halt with ebreak.\n"
-               "      --timing       run on the cycle-level timing model\n"
-               "      --trace        print each executed instruction (functional mode)\n"
-               "      --max-steps N  stop after N instructions (default 100000000)\n"
-               "      --dump-regs    print architectural registers on exit\n"
-               "      --engine E     functional engine: \"interp\" (default) or\n"
-               "                     \"threaded\" (predecoded threaded code; identical\n"
-               "                     results, faster; --trace requires interp)\n"
-               "  sweep --spec spec.json [--out file] [--format csv|json] [--threads N]\n"
-               "        [--store DIR] [--resume] [--fsync] [--shard i/N]\n"
-               "        [--engine interp|threaded] [--import DIR]... [--rollup]\n"
-               "      Runs the sweep described by spec.json (see README: sweep specs)\n"
-               "      on a parallel BatchRunner pool and writes the report to stdout\n"
-               "      or --out.\n"
-               "      --store DIR   journal every completed point to DIR/results.journal\n"
-               "                    (append-only, CRC-checked; survives a killed run)\n"
-               "      --resume      with --store: serve already-journaled points from\n"
-               "                    the store and simulate only what is missing\n"
-               "      --shard i/N   run only shard i of N: points are partitioned by\n"
-               "                    digest (fnv1a(key) %% N == i-1), so N processes with\n"
-               "                    disjoint shards cover the grid exactly once\n"
-               "      --engine E    override the spec's functional engine (reports and\n"
-               "                    cache keys are engine-independent by construction)\n"
-               "      --fsync       with --store: fsync the journal after every record\n"
-               "                    (survives power loss, not just process death)\n"
-               "      --import DIR  register the checkpoint in DIR (see import-model)\n"
-               "                    before parsing the spec, so specs can sweep it\n"
-               "      --rollup      append whole-network totals to the report: a\n"
-               "                    \"# rollup\" CSV section / \"rollup\" JSON key with\n"
-               "                    count-weighted end-to-end cycles and a bytes-moved\n"
-               "                    energy proxy per (suite x sparsity x config)\n"
-               "      SIGINT/SIGTERM stop gracefully: queued points are skipped,\n"
-               "      in-flight points finish and journal, and the run exits 130 with\n"
-               "      a resume hint (rerun with --resume).\n"
-               "  worker (--port N | --port-file F) [--host A] [--name W]\n"
-               "         [--heartbeat-ms N] [--poll-ms N] [--backoff-base-ms N]\n"
-               "         [--backoff-cap-ms N] [--give-up-ms N] [--quiet]\n"
-               "         [--chaos-kill-after N] [--chaos-drop-after N]\n"
-               "         [--chaos-stall-after N --chaos-stall-ms N]\n"
-               "      Joins an imac_serve daemon as a sweep worker: leases grid\n"
-               "      points, measures them, streams results back, and reconnects\n"
-               "      with capped exponential backoff when the daemon goes away.\n"
-               "      Exits 0 when the daemon reports the grid complete, 3 after\n"
-               "      --give-up-ms without a reachable daemon, 130 on SIGINT.\n"
-               "      --port-file F  read the port from F (as written by imac_serve\n"
-               "                     --port-file), waiting for it to appear\n"
-               "      --chaos-*      scripted fault injection for tests: SIGKILL self\n"
-               "                     before sending result N / drop the connection\n"
-               "                     mid-record at result N / stall without heartbeats\n"
-               "                     after result N\n"
-               "  merge --spec spec.json [--store DIR]... [--out file] [--format csv|json]\n"
-               "        [--import DIR]... [shard.csv]...\n"
-               "      Fuses shard stores and/or shard CSV reports into the canonical\n"
-               "      report of spec.json — byte-identical to a single-process sweep.\n"
-               "      Conflicting or missing points abort with an error. Stores keep\n"
-               "      full double precision; shard CSVs round sampled-mode cycles to\n"
-               "      2 decimals, so for sampled sweeps merge from stores (CSV inputs\n"
-               "      still give byte-exact CSV output, but not JSON, and must not\n"
-               "      overlap a store's points).\n"
+               "subcommands:\n");
+  for (const SubcommandDoc& doc : kSubcommands)
+    std::fprintf(out, "  %-16s %s\n", doc.name, doc.brief);
+  std::fprintf(out,
+               "\n"
+               "`imac_run <subcommand> --help` shows that subcommand's flags;\n"
+               "`imac_run --help` shows every subcommand's flags.\n"
+               "`imac_run [flags] file.s` (no subcommand) is accepted as `run`.\n"
+               "  -h, --help     show this help and exit\n");
+}
+
+void usage_full(std::FILE* out) {
+  usage(out);
+  std::fprintf(out, "\n");
+  for (const SubcommandDoc& doc : kSubcommands) std::fprintf(out, "%s", doc.help);
+  std::fprintf(out,
                "\n"
                "  --threads N (run, sweep) sets the worker-pool width for any batched\n"
                "  work. It mirrors the INDEXMAC_THREADS environment variable — same\n"
                "  [1, 1024] validation, rejecting anything else — and wins over it\n"
-               "  when both are given.\n"
-               "  list-workloads [suite] [--json]\n"
-               "      Lists the registered workload suites, or one suite's layers.\n"
-               "      --json emits a machine-readable listing (name, display name,\n"
-               "      layer count, total MACs, default sparsities) for tooling.\n"
-               "  list-algorithms\n"
-               "      Lists the registered kernel families: id (as used in sweep specs\n"
-               "      and CSV reports), display name, report pairing role, and whether\n"
-               "      sampled sweep mode supports the family.\n"
-               "  import-model DIR [--json]\n"
-               "      Loads the checkpoint in DIR (model.json manifest + IMACTNSR\n"
-               "      tensor blobs, f32/f16; see README: model import) and prints each\n"
-               "      layer's measured sparsity: nonzero density, N:M block\n"
-               "      conformity against the declared pattern, and ELLPACK\n"
-               "      row-imbalance. Sweep it with `sweep --import DIR` and a spec\n"
-               "      naming the model.\n"
-               "  report [--rollup] file.csv\n"
-               "      Pretty-prints a sweep CSV; rows measured with both kernels are\n"
-               "      paired into a speedup column (standalone families keep their\n"
-               "      own rows). --rollup prints whole-network totals instead: per\n"
-               "      (suite x sparsity x config), count-weighted end-to-end cycles,\n"
-               "      data accesses and the bytes-moved energy proxy (accesses x 64,\n"
-               "      a cache-line-granularity upper bound).\n"
-               "  -h, --help     show this help and exit\n"
-               "\n"
-               "`imac_run [flags] file.s` (no subcommand) is accepted as `run`.\n");
+               "  when both are given.\n");
+}
+
+/// Full help for one subcommand, or nullptr if the name is unknown.
+const SubcommandDoc* find_subcommand_doc(const char* name) {
+  for (const SubcommandDoc& doc : kSubcommands)
+    if (std::strcmp(doc.name, name) == 0) return &doc;
+  return nullptr;
 }
 
 void dump_registers(const indexmac::ArchState& state) {
@@ -440,14 +509,50 @@ int cmd_sweep(int argc, char** argv) {
 
 /// Strict numeric flag parsing: a mistyped chaos or timing flag must not
 /// silently become 0 and invalidate what a chaos test believes it proved.
-std::uint64_t parse_u64_flag(const char* flag, const char* text) {
+std::uint64_t parse_u64_flag(const char* flag, const char* text, const char* cmd = "worker") {
   char* end = nullptr;
   errno = 0;
   const unsigned long long v = std::strtoull(text, &end, 10);
   if (end == text || *end != '\0' || errno != 0)
-    indexmac::raise(std::string("imac_run worker: ") + flag + " expects an unsigned integer, got \"" +
-                    text + "\"");
+    indexmac::raise(std::string("imac_run ") + cmd + ": " + flag +
+                    " expects an unsigned integer, got \"" + text + "\"");
   return v;
+}
+
+int cmd_gdb(int argc, char** argv) {
+  using namespace indexmac;
+  debug::GdbServerOptions opts;
+  const char* path = nullptr;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc)
+      opts.port = static_cast<std::uint16_t>(parse_u64_flag("--port", argv[++i], "gdb"));
+    else if (std::strcmp(argv[i], "--port-file") == 0 && i + 1 < argc) opts.port_file = argv[++i];
+    else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc)
+      opts.engine = parse_exec_engine(argv[++i]);
+    else if (std::strcmp(argv[i], "--quiet") == 0) opts.quiet = true;
+    else if (argv[i][0] != '-' && path == nullptr) path = argv[i];
+    else {
+      usage(stderr);
+      return 2;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "imac_run gdb: a .s program file is required\n");
+    return 2;
+  }
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "imac_run: cannot open %s\n", path);
+    return 1;
+  }
+  std::stringstream source;
+  source << file.rdbuf();
+  const AssembledText assembled = assemble_text(source.str());
+
+  MainMemory mem;
+  install_stop_handlers();
+  opts.stop = &g_stop;
+  return debug::run_gdb_server(assembled, mem, opts);
 }
 
 int cmd_worker(int argc, char** argv) {
@@ -916,19 +1021,22 @@ int cmd_report(int argc, char** argv) {
   return 0;
 }
 
-bool is_subcommand(const char* s) {
-  return std::strcmp(s, "run") == 0 || std::strcmp(s, "sweep") == 0 ||
-         std::strcmp(s, "worker") == 0 || std::strcmp(s, "merge") == 0 ||
-         std::strcmp(s, "list-workloads") == 0 || std::strcmp(s, "list-algorithms") == 0 ||
-         std::strcmp(s, "import-model") == 0 || std::strcmp(s, "report") == 0;
-}
+bool is_subcommand(const char* s) { return find_subcommand_doc(s) != nullptr; }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // `imac_run <sub> --help` prints that subcommand's section; `--help`
+  // anywhere else prints everything.
+  const bool named = argc >= 2 && is_subcommand(argv[1]);
   for (int i = 1; i < argc; ++i)
     if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
-      usage(stdout);
+      if (named) {
+        std::printf("usage: imac_run <subcommand> [args]\n\n%s",
+                    find_subcommand_doc(argv[1])->help);
+      } else {
+        usage_full(stdout);
+      }
       return 0;
     }
   if (argc < 2) {
@@ -937,7 +1045,7 @@ int main(int argc, char** argv) {
   }
 
   try {
-    if (is_subcommand(argv[1])) {
+    if (named) {
       const char* cmd = argv[1];
       char** rest = argv + 2;
       const int nrest = argc - 2;
@@ -945,6 +1053,7 @@ int main(int argc, char** argv) {
       if (std::strcmp(cmd, "sweep") == 0) return cmd_sweep(nrest, rest);
       if (std::strcmp(cmd, "worker") == 0) return cmd_worker(nrest, rest);
       if (std::strcmp(cmd, "merge") == 0) return cmd_merge(nrest, rest);
+      if (std::strcmp(cmd, "gdb") == 0) return cmd_gdb(nrest, rest);
       if (std::strcmp(cmd, "list-workloads") == 0) return cmd_list_workloads(nrest, rest);
       if (std::strcmp(cmd, "list-algorithms") == 0) return cmd_list_algorithms(nrest, rest);
       if (std::strcmp(cmd, "import-model") == 0) return cmd_import_model(nrest, rest);
